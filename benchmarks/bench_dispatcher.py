@@ -1,0 +1,79 @@
+"""S3.9 — the dispatcher: fast-cache hit rate and the chaining ablation.
+
+Paper: the direct-mapped fast look-up hits ~98% of the time; the fast
+case takes fourteen instructions; Valgrind does no chaining, yet its
+no-instrumentation slow-down is only 4.3x (vs Strata, where chaining took
+22.1x to 4.1x, because dispatching cost ~250 cycles).
+
+We measure the hit rate on the workload suite, and run the chaining
+ablation the paper's old JIT used to have: with chaining on, executions
+bypass the dispatcher cache entirely, and the speedup is *modest* —
+because the dispatcher is fast, the paper's argument.
+"""
+
+import time
+
+from repro import Options, run_tool
+from repro.workloads.suite import build
+
+from conftest import SCALE, geomean, save_and_show
+
+PROGRAMS = ("gzip", "mcf", "twolf", "swim")
+
+
+def test_dispatcher_and_chaining(benchmark, capsys):
+    def sweep():
+        rows = []
+        for name in PROGRAMS:
+            wl = build(name, scale=SCALE)
+            t0 = time.perf_counter()
+            plain = run_tool("none", wl.image, options=Options(log_target="capture"))
+            t_plain = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            chained = run_tool(
+                "none", wl.image,
+                options=Options(log_target="capture", chaining=True),
+            )
+            t_chain = time.perf_counter() - t0
+            assert chained.stdout == plain.stdout
+            rows.append((name, plain, t_plain, chained, t_chain))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    lines = [
+        "Section 3.9: dispatcher fast-cache behaviour and chaining ablation",
+        "",
+        f"{'program':8s} {'blocks':>9} {'hit rate':>9} {'chained':>9} "
+        f"{'t(no-chain)':>12} {'t(chain)':>10} {'speedup':>8}",
+    ]
+    hit_rates = []
+    speedups = []
+    for name, plain, t_plain, chained, t_chain in rows:
+        s1 = plain.core.scheduler.dispatcher.stats
+        s2 = chained.core.scheduler.dispatcher.stats
+        hit_rates.append(s1.hit_rate)
+        speedups.append(t_plain / t_chain)
+        lines.append(
+            f"{name:8s} {s1.blocks_executed:>9} {s1.hit_rate:>9.1%} "
+            f"{s2.chained:>9} {t_plain:>11.3f}s {t_chain:>9.3f}s "
+            f"{t_plain / t_chain:>7.2f}x"
+        )
+    mean_hit = sum(hit_rates) / len(hit_rates)
+    mean_speedup = geomean(speedups)
+    lines += [
+        "",
+        f"mean fast-lookup hit rate: {mean_hit:.1%}  (paper: ~98%)",
+        f"chaining speedup (geomean): {mean_speedup:.2f}x  "
+        "(paper's argument: small, because the dispatcher is fast —",
+        " unlike Strata's 250-cycle dispatch, where chaining gave 5.4x)",
+    ]
+
+    # -- shape checks -----------------------------------------------------------
+    assert mean_hit > 0.95
+    for _, _, _, chained, _ in rows:
+        assert chained.core.scheduler.dispatcher.stats.chained > 0
+    # Chaining helps at most modestly; it must never approach Strata's 5x.
+    assert mean_speedup < 2.0
+
+    save_and_show(capsys, "dispatcher", lines)

@@ -1,0 +1,86 @@
+"""F1 — regenerate Figure 1: disassembly of three CISC instructions into
+tree IR (machine code → IMarks, GET/PUT, the flags thunk, an indirect
+jump).
+
+Paper: the x86 sequence  movl -16180(%ebx,%eax,4),%eax ; addl %ebx,%eax ;
+jmp*l %eax  disassembles into 17 tree-IR statements.  We transliterate the
+same three instructions to vx32 and check the same structural facts:
+
+* one IMark per instruction, with correct addresses and lengths;
+* the CISC addressing mode becomes a nested Add32/Shl32/GET tree;
+* the flag-setting add writes the four condition-code thunk values
+  (offsets 32/36/40/44 — "eflags val1..val4");
+* the PC (offset 60) is kept up to date at instruction boundaries;
+* the block ends with ``goto {Boring} tN`` for the indirect jump.
+"""
+
+from repro.frontend.disasm import Disassembler
+from repro.guest.asm import assemble
+from repro.guest.regs import (
+    OFFSET_CC_DEP1,
+    OFFSET_CC_DEP2,
+    OFFSET_CC_NDEP,
+    OFFSET_CC_OP,
+    OFFSET_PC,
+)
+from repro.ir import Binop, Get, IMark, Put, RdTmp, fmt_irsb
+from repro.ir.stmt import JumpKind
+
+from conftest import save_and_show
+
+# The Figure 1 instruction sequence, transliterated to vx32.
+SOURCE = """
+_start: ld   r0, [r3+r0*4-16180]   ; movl -16180(%ebx,%eax,4),%eax
+        add  r0, r3                ; addl %ebx,%eax
+        jmp  r0                    ; jmp*l %eax
+"""
+
+
+def test_figure1_disassembly(benchmark, capsys):
+    img = assemble(SOURCE, text_base=0x24F275 & ~0xFFF)
+    seg = img.text_segment
+    dis = Disassembler(lambda a, n: seg.data[a - seg.addr : a - seg.addr + n])
+
+    sb = benchmark(dis.disasm_block, img.entry)
+
+    lines = [
+        "Figure 1: machine code -> tree IR (disassembly of 3 CISC insns)",
+        "",
+    ]
+    addr = img.entry
+    for text in SOURCE.strip().splitlines():
+        lines.append(f"0x{addr:X}: {text.split(';')[1].strip()}")
+        from repro.guest.encoding import decode
+
+        insn = decode(seg.data, addr - seg.addr, addr)
+        addr += insn.length
+    lines.append("")
+    lines += fmt_irsb(sb).splitlines()
+
+    # -- structural checks against the paper's figure --------------------------
+    imarks = [s for s in sb.stmts if isinstance(s, IMark)]
+    assert len(imarks) == 3
+    assert imarks[0].addr == img.entry
+    assert imarks[1].addr == imarks[0].addr + imarks[0].length
+
+    # The load's address computation is a nested tree with a shifted index
+    # (the paper's Add32(Add32(GET,Shl32(GET,2)),disp)).
+    text = fmt_irsb(sb)
+    assert "Shl32(GET:I32(0),0x2:I8)" in text
+    # The add writes all four flags-thunk slots...
+    for off in (OFFSET_CC_OP, OFFSET_CC_DEP1, OFFSET_CC_DEP2, OFFSET_CC_NDEP):
+        assert any(isinstance(s, Put) and s.offset == off for s in sb.stmts)
+    # ...the PC is updated at instruction boundaries...
+    assert any(isinstance(s, Put) and s.offset == OFFSET_PC for s in sb.stmts)
+    # ...and the indirect jump ends the block with a Boring goto-temporary.
+    assert isinstance(sb.next, RdTmp) and sb.jumpkind is JumpKind.Boring
+
+    n = sb.num_real_stmts()
+    lines += [
+        "",
+        f"statements: {n} (paper's x86 figure: 17)",
+        f"IMarks: 3, flags-thunk PUTs present, goto {{Boring}} on a temporary",
+    ]
+    assert 12 <= n <= 24  # same ballpark as the paper's 17
+
+    save_and_show(capsys, "figure1", lines)

@@ -1,0 +1,88 @@
+"""F2 — regenerate Figure 2: Memcheck-instrumented flat IR.
+
+The paper instruments the Figure-1 ``movl`` and observes:
+
+* 11 of the 18 final statements were added by Memcheck;
+* shadow registers are ThreadState slots at +320 (sh(%eax) at 320,
+  sh(%ebx) at 332) GET/PUT like guest registers;
+* every guest operation is preceded by its shadow operation;
+* the shadow add is the three-statement Or/Neg/Or ("Left") sequence;
+* the shadow load is a CmpNEZ + *conditional* error-helper call
+  (``DIRTY t27 RdFX-gst(16,4) RdFX-gst(60,4) ::: helperc_value_check4_fail``)
+  plus a ``helperc_LOADV32le`` call;
+* the post-instrumentation optimisation pass shrank the block from 48
+  statements to 18 (a ~2.7x reduction).
+"""
+
+from repro.frontend.disasm import Disassembler
+from repro.frontend.spec import vx32_spec_helper
+from repro.guest.asm import assemble
+from repro.ir import Dirty, fmt_irsb
+from repro.opt.opt1 import optimise1
+from repro.opt.opt2 import optimise2
+from repro.tools.memcheck.instrument import MemcheckInstrumenter
+
+from conftest import save_and_show
+
+SOURCE = "_start: ld   r0, [r3+r0*4-16180]\n        add  r0, r3\n"
+
+
+def _pipeline_upto_instrumentation():
+    img = assemble(SOURCE, text_base=0x24F000)
+    seg = img.text_segment
+    dis = Disassembler(lambda a, n: seg.data[a - seg.addr : a - seg.addr + n])
+    sb = dis.disasm_block(img.entry)
+    return optimise1(sb, spec_helper=vx32_spec_helper)
+
+
+def test_figure2_memcheck_instrumentation(benchmark, capsys):
+    flat = _pipeline_upto_instrumentation()
+    n_before = flat.num_real_stmts()
+    instrumenter = MemcheckInstrumenter()
+
+    instrumented = benchmark(instrumenter.instrument, flat.copy())
+    n_raw = instrumented.num_real_stmts()
+    cleaned = optimise2(instrumented, spec_helper=vx32_spec_helper)
+    n_after = cleaned.num_real_stmts()
+
+    text = fmt_irsb(cleaned)
+    lines = [
+        "Figure 2: Memcheck-instrumented flat IR for the Figure-1 load+add",
+        "(statements present before instrumentation are the *originals*)",
+        "",
+        text,
+        "",
+        f"original statements:               {n_before}",
+        f"after Memcheck instrumentation:    {n_raw}",
+        f"after the second optimisation pass: {n_after}",
+        f"reduction by opt2:                 {n_raw / n_after:.2f}x "
+        "(paper: 48 -> 18, 2.7x, from a deliberately simple-minded",
+        "                                   instrumenter; ours pre-folds"
+        " constant shadows — see bench_opt_ablation)",
+        f"added by Memcheck (net):           {n_after - n_before} of {n_after}"
+        " (paper: 11 of 18)",
+    ]
+
+    # -- the paper's structural claims ------------------------------------------
+    # Shadow registers are first-class state at +320/+332.
+    assert "GET:I32(320)" in text or "PUT(320)" in text   # sh(r0)
+    assert "GET:I32(332)" in text                         # sh(r3)
+    # The shadow add is the Left sequence: Or, Neg, Or.
+    assert "Neg32(" in text and "Or32(" in text
+    # The shadow load: a guarded error call annotated as reading SP and PC,
+    # and the LOADV helper call.
+    assert "helperc_value_check4_fail" in text
+    assert "RdFX-gst(16,4)" in text and "RdFX-gst(60,4)" in text
+    assert "helperc_LOADV32le" in text
+    guarded = [
+        s for s in cleaned.stmts
+        if isinstance(s, Dirty) and s.guard is not None
+    ]
+    assert guarded, "the error call must be conditional on the shadow bits"
+    # Instrumentation roughly doubles the statement count, and opt2 still
+    # finds something to remove even though our instrumenter pre-folds the
+    # constant-shadow cases the paper's 48->18 reduction came from.
+    assert n_after - n_before >= n_before // 2
+    assert n_raw > n_after
+
+    save_and_show(capsys, "figure2", lines)

@@ -1,0 +1,113 @@
+"""S3.16 — self-modifying code: correctness and cost of the hash checks.
+
+Paper: a translation records a hash of its origin bytes; checked
+translations recompute it on every execution — "this has a high run-time
+cost.  Therefore, by default Valgrind only uses this mechanism for code
+that is on the stack" (enough for GCC's nested-function trampolines),
+minimising the cost; it can also be turned off or applied to every block.
+
+The workload runs a *modified-between-calls* trampoline on the stack
+(the correctness half) inside a larger static loop (the cost half), under
+--smc-check=none / stack / all.
+"""
+
+import time
+
+from repro import Options, assemble, build_source, run_native, run_tool
+
+from conftest import save_and_show
+
+# The trampoline's immediate is patched each iteration: its sum differs
+# under stale translations, making staleness *observable* in the output.
+PROGRAM = """
+        .text
+main:   subi sp, 32
+        ; build `movi r0, 0; ret` on the stack
+        movi r1, 0x11
+        stb  [sp], r1
+        movi r1, 0
+        stb  [sp+1], r1
+        sti  [sp+2], 0
+        movi r1, 0x03
+        stb  [sp+6], r1
+        mov  r7, sp           ; trampoline address
+        movi r6, 0            ; sum of trampoline results
+        movi fp, 200          ; iterations
+loop:   sti  [r7+2], 0        ; patch the immediate to fp's value
+        st   [r7+2], fp       ; (the actual self-modification)
+        call r7
+        add  r6, r0
+        ; some static work so 'all' mode has blocks to slow down
+        movi r1, 60
+work:   dec  r1
+        jnz  work
+        dec  fp
+        jnz  loop
+        push r6
+        call putint
+        addi sp, 4
+        addi sp, 32
+        movi r0, 0
+        ret
+"""
+
+
+def test_smc_modes(benchmark, capsys):
+    image = assemble(build_source(PROGRAM), filename="smc")
+    t0 = time.perf_counter()
+    nat = run_native(image)
+    t_nat = time.perf_counter() - t0
+    expected = str(sum(range(1, 201)))
+    assert nat.stdout.strip() == expected
+
+    def run(mode: str):
+        t0 = time.perf_counter()
+        res = run_tool(
+            "none", image, options=Options(log_target="capture", smc_check=mode)
+        )
+        return res, time.perf_counter() - t0
+
+    (res_stack, t_stack) = benchmark.pedantic(
+        run, args=("stack",), rounds=1, iterations=1
+    )
+    res_none, t_none = run("none")
+    res_all, t_all = run("all")
+
+    smc = res_stack.core.scheduler.smc
+
+    lines = [
+        "Section 3.16: self-modifying code handling",
+        f"(stack trampoline patched 200 times; native sum = {expected})",
+        "",
+        f"{'mode':8s} {'output ok':>10} {'slowdown':>9} "
+        f"{'smc checks':>11} {'flushes':>8}",
+    ]
+    for name, res, t in (("none", res_none, t_none),
+                         ("stack", res_stack, t_stack),
+                         ("all", res_all, t_all)):
+        ok = res.stdout.strip() == expected
+        s = res.core.scheduler.smc
+        d = res.core.scheduler.dispatcher.stats
+        lines.append(
+            f"{name:8s} {str(ok):>10} {t / t_nat:>8.1f}x "
+            f"{s.checks:>11} {d.smc_flushes:>8}"
+        )
+    lines += [
+        "",
+        "correctness: 'stack' and 'all' detect every modification; 'none'",
+        "runs stale translations (wrong sum) — exactly the paper's trade-off.",
+        "cost: 'all' re-hashes every block every execution; 'stack' only",
+        "pays for on-stack code.",
+    ]
+
+    # -- the paper's claims ---------------------------------------------------------
+    assert res_stack.stdout.strip() == expected       # default mode is correct
+    assert res_all.stdout.strip() == expected
+    assert res_none.stdout.strip() != expected        # stale translations
+    s_stack = res_stack.core.scheduler.smc
+    s_all = res_all.core.scheduler.smc
+    assert s_stack.checks > 0 and s_stack.misses > 0
+    assert s_all.checks > s_stack.checks              # 'all' checks far more
+    assert t_all > t_stack * 0.9                      # and is never cheaper
+
+    save_and_show(capsys, "smc", lines)

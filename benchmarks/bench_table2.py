@@ -1,0 +1,94 @@
+"""T2 — regenerate Table 2: performance of four Valgrind tools on the
+(SPEC CPU2000-shaped) workload suite.
+
+For each of the 25 programs we run: native (the reference CPU), Nulgrind,
+ICntI (inline instruction counter), ICntC (helper-call counter) and
+Memcheck (leak check off, as in the paper), and report per-program
+slow-down factors and the geometric means.
+
+The paper's absolute factors (4.3 / 8.8 / 13.5 / 22.1 on real hardware)
+cannot transfer to a Python host; the *shape* must and does:
+
+    Nulgrind < ICntI < ICntC < Memcheck
+
+with Memcheck several times Nulgrind.  Correctness is woven in: every
+instrumented run must produce byte-identical output to the native run.
+"""
+
+import time
+
+from repro import Options, run_native, run_tool
+from repro.workloads.suite import ALL_WORKLOADS, INT_WORKLOADS, build
+
+from conftest import SCALE, geomean, save_and_show
+
+TOOLS = ("none", "icnt-inline", "icnt-call", "memcheck")
+COLUMN = {"none": "Nulg.", "icnt-inline": "ICntI", "icnt-call": "ICntC",
+          "memcheck": "Memc."}
+PAPER_GEOMEANS = {"none": 4.3, "icnt-inline": 8.8, "icnt-call": 13.5,
+                  "memcheck": 22.1}
+
+
+def _run_suite():
+    rows = []
+    for name in ALL_WORKLOADS:
+        wl = build(name, scale=SCALE)
+        t0 = time.perf_counter()
+        nat = run_native(wl.image)
+        t_native = time.perf_counter() - t0
+        row = {"name": name, "native_s": t_native, "insns": nat.guest_insns}
+        for tool in TOOLS:
+            opts = Options(log_target="capture")
+            if tool == "memcheck":
+                opts.tool_options = ["--leak-check=no"]
+            t0 = time.perf_counter()
+            res = run_tool(tool, wl.image, options=opts)
+            dt = time.perf_counter() - t0
+            assert res.stdout == nat.stdout, (name, tool)
+            assert res.exit_code == nat.exit_code, (name, tool)
+            row[tool] = dt / t_native
+        rows.append(row)
+    return rows
+
+
+def test_table2_tool_performance(benchmark, capsys):
+    rows = benchmark.pedantic(_run_suite, rounds=1, iterations=1)
+
+    lines = [
+        f"Table 2: performance of four Valgrind tools "
+        f"(workload scale {SCALE}; slow-down factors vs native)",
+        "",
+        f"{'Program':10s} {'Nat.(s)':>8} {'insns':>9} "
+        + "".join(f"{COLUMN[t]:>8}" for t in TOOLS),
+    ]
+    for row in rows:
+        if row["name"] == ALL_WORKLOADS[len(INT_WORKLOADS)]:
+            lines.append("  --- floating point ---")
+        lines.append(
+            f"{row['name']:10s} {row['native_s']:>8.3f} {row['insns']:>9} "
+            + "".join(f"{row[t]:>8.1f}" for t in TOOLS)
+        )
+    gms = {t: geomean([r[t] for r in rows]) for t in TOOLS}
+    lines.append("-" * 64)
+    lines.append(
+        f"{'geo. mean':10s} {'':>8} {'':>9} "
+        + "".join(f"{gms[t]:>8.1f}" for t in TOOLS)
+    )
+    lines.append(
+        f"{'(paper)':10s} {'':>8} {'':>9} "
+        + "".join(f"{PAPER_GEOMEANS[t]:>8.1f}" for t in TOOLS)
+    )
+    lines += [
+        "",
+        "shape checks: Nulgrind < ICntI < ICntC < Memcheck; every tool run",
+        "produced byte-identical output to the native run.",
+    ]
+
+    # -- the paper's shape ---------------------------------------------------------
+    assert gms["none"] < gms["icnt-inline"] < gms["icnt-call"] < gms["memcheck"]
+    # Broad bands: the framework's base cost is a few x; Memcheck is the
+    # heavyweight, several times Nulgrind (paper: 22.1/4.3 ~= 5.1x).
+    assert 1.5 < gms["none"] < 10
+    assert gms["memcheck"] > 2.5 * gms["none"]
+
+    save_and_show(capsys, "table2", lines)

@@ -1,0 +1,108 @@
+"""S3.8 — translation storage: FIFO chunk eviction vs LRU.
+
+Paper: the table is large and rarely fills; when it passes 80% full,
+1/8th is evicted FIFO — "chosen over the more obvious LRU... because it
+is simpler and it still does a fairly good job".
+
+We force eviction by running a code-churn workload (many distinct blocks,
+with a hot loop that keeps returning to old code) under a deliberately
+tiny table, and compare retranslation counts under FIFO and LRU.  The
+claim to verify is *not* that FIFO wins — it is that FIFO is not much
+worse ("still does a fairly good job").
+"""
+
+from repro import Options, run_tool
+from repro.guest.asm import assemble
+from repro.libc.stubs import build_source
+
+from conftest import save_and_show
+
+
+def _churn_program(n_funcs: int = 120) -> str:
+    """A hot loop that calls one small *hot* function and a rotating set of
+    cold functions, so the working set exceeds a small translation table
+    but part of it (the hot function) is always worth keeping."""
+    parts = ["        .text", "main:   movi r7, 3"]
+    parts.append("outer:  movi r6, 0")
+    parts.append("inner:  call hot")
+    parts.append("        mov  r1, r6")
+    parts.append("        shl  r1, 2")
+    parts.append("        ld   r1, [table+r1]")
+    parts.append("        call r1")
+    parts.append("        inc  r6")
+    parts.append(f"        cmpi r6, {n_funcs}")
+    parts.append("        jl   inner")
+    parts.append("        dec  r7")
+    parts.append("        jnz  outer")
+    parts.append("        movi r0, 0")
+    parts.append("        ret")
+    parts.append("hot:    movi r0, 1")
+    parts.append("        addi r0, 2")
+    parts.append("        ret")
+    for i in range(n_funcs):
+        parts.append(f"f{i}:    movi r0, {i}")
+        parts.append("        inc  r0")
+        parts.append("        ret")
+    parts.append("        .data")
+    parts.append("table:  .word " + ", ".join(f"f{i}" for i in range(n_funcs)))
+    return "\n".join(parts)
+
+
+def test_transtab_fifo_vs_lru(benchmark, capsys):
+    image = assemble(build_source(_churn_program()), filename="churn")
+
+    def run(policy: str):
+        res = run_tool(
+            "none",
+            image,
+            options=Options(
+                log_target="capture",
+                transtab_entries=64,  # tiny: forces constant eviction
+                transtab_policy=policy,
+            ),
+        )
+        return res
+
+    fifo = benchmark.pedantic(run, args=("fifo",), rounds=1, iterations=1)
+    lru = run("lru")
+    big = run_tool(
+        "none", image,
+        options=Options(log_target="capture", transtab_entries=32768),
+    )
+    assert fifo.stdout == lru.stdout == big.stdout
+
+    rows = []
+    for name, res in (("fifo/64", fifo), ("lru/64", lru), ("fifo/32768", big)):
+        st = res.core.scheduler.transtab.stats
+        rows.append(
+            (name, res.outcome.translations, st.evict_rounds, st.evicted)
+        )
+
+    lines = [
+        "Section 3.8: translation-table eviction — FIFO vs LRU",
+        "(64-entry table on a code-churn workload; ~150 distinct blocks)",
+        "",
+        f"{'config':12s} {'translations':>13} {'evict rounds':>13} {'evicted':>9}",
+    ]
+    for name, trans, rounds, evicted in rows:
+        lines.append(f"{name:12s} {trans:>13} {rounds:>13} {evicted:>9}")
+    f_trans, l_trans, big_trans = rows[0][1], rows[1][1], rows[2][1]
+    lines += [
+        "",
+        f"retranslation overhead: FIFO {f_trans / big_trans:.1f}x, "
+        f"LRU {l_trans / big_trans:.1f}x the no-eviction translation count",
+        f"FIFO/LRU ratio: {f_trans / l_trans:.2f} "
+        "(paper: FIFO 'still does a fairly good job')",
+        "",
+        "note: hot blocks are mostly served from the dispatcher's",
+        "direct-mapped cache, which bypasses table look-ups — so accurate",
+        "recency data is not even cheaply available, which is itself an",
+        "argument for the paper's simpler FIFO choice.",
+    ]
+
+    # Both policies evict heavily; FIFO must be within 2x of LRU.
+    assert rows[0][2] > 0 and rows[1][2] > 0
+    assert rows[2][2] == 0  # the big table never evicts (it "rarely fills")
+    assert f_trans <= 2.0 * l_trans
+
+    save_and_show(capsys, "transtab", lines)

@@ -1,0 +1,52 @@
+"""Shared machinery for the benchmark harness.
+
+Each ``bench_*.py`` regenerates one table or figure from the paper (see
+DESIGN.md's experiment index).  Every bench
+
+* prints its table/figure to the terminal (through ``capsys.disabled()``,
+  so it shows even without ``-s``), and
+* writes the same text to ``benchmarks/results/<id>.txt``, which
+  EXPERIMENTS.md indexes.
+
+The workload scale can be adjusted with REPRO_BENCH_SCALE (default 0.2);
+larger scales sharpen the timing ratios at the cost of wall-clock time.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import time
+
+import pytest
+
+#: Workload scale for timing benches.
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.2"))
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def save_and_show(capsys, experiment_id: str, lines) -> None:
+    """Print a report (bypassing capture) and save it under results/."""
+    text = "\n".join(lines) + "\n"
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{experiment_id}.txt").write_text(text)
+    with capsys.disabled():
+        print(f"\n──── {experiment_id} " + "─" * max(0, 60 - len(experiment_id)))
+        print(text, end="")
+
+
+def time_run(fn) -> float:
+    """Wall-clock one call."""
+    t0 = time.perf_counter()
+    fn()
+    return time.perf_counter() - t0
+
+
+def geomean(values) -> float:
+    import math
+
+    values = [v for v in values if v > 0]
+    if not values:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in values) / len(values))

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Taint tracking: detect a control-flow hijack from untrusted input.
+
+A toy "server" reads a request from its input, parses a length field and
+an opcode, and dispatches through a jump table.  A malicious request
+drives the dispatch *index* directly from input bytes without validation
+— the exact pattern TaintCheck (NDSS'05) was built to catch: data from an
+untrusted source reaching a control-flow transfer.
+
+Run:  python examples/taint_tracking.py
+"""
+
+from repro import Options, assemble, build_source, run_tool
+
+SERVER = """
+        .text
+; Request format: [0] = opcode byte, [1..4] = payload.
+main:   movi  r0, 2           ; read(0, req, 8)
+        movi  r1, 0
+        movi  r2, req
+        movi  r3, 8
+        syscall
+        ldb   r1, [req]       ; opcode — straight from the wire, unchecked
+        shl   r1, 2
+        ld    r1, [table+r1]  ; handler address indexed by tainted opcode
+        call  r1              ; *** tainted control transfer ***
+        movi  r0, 0
+        ret
+
+op_echo:
+        pushi msg_echo
+        call  puts
+        addi  sp, 4
+        ret
+op_stat:
+        pushi msg_stat
+        call  puts
+        addi  sp, 4
+        ret
+
+        .data
+table:  .word op_echo, op_stat, op_echo, op_stat
+req:    .space 16
+msg_echo: .asciz "handled: echo"
+msg_stat: .asciz "handled: stat"
+"""
+
+
+def run(request: bytes) -> None:
+    image = assemble(build_source(SERVER), filename="server.s")
+    # --taint-addr closes the jump-table laundering hole: dispatching
+    # through a *clean* table with a *tainted* index would otherwise hide
+    # the flow from the jump-target sink.
+    opts = Options(log_target="capture", tool_options=["--taint-addr=yes"])
+    res = run_tool("taintcheck", image, options=opts, stdin=request)
+    print(f"request {request!r}")
+    print(f"  server output : {res.stdout.strip()!r}")
+    print(f"  taint sources : {res.tool.bytes_tainted} bytes from read()")
+    if res.errors:
+        for e in res.errors:
+            print("  ALERT:", e.format().splitlines()[0])
+            for line in e.format().splitlines()[1:3]:
+                print("        ", line.strip())
+    else:
+        print("  no taint violations")
+    print()
+
+
+def main() -> None:
+    print("=== the server dispatches through a table indexed by a raw")
+    print("=== input byte; taintcheck's address sink flags the table load")
+    print("=== and the jump-target sink flags any directly-tainted target:")
+    run(b"\x01AAAA\x00\x00\x00")
+    run(b"\x03BBBB\x00\x00\x00")
+
+
+if __name__ == "__main__":
+    main()

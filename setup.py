@@ -1,0 +1,6 @@
+"""Legacy setup shim: lets `pip install -e .` work without the `wheel`
+package (the offline environments this repo targets lack PEP-660 support)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,57 @@
+"""repro-valgrind: a reproduction of "Valgrind: A Framework for
+Heavyweight Dynamic Binary Instrumentation" (Nethercote & Seward,
+PLDI 2007) as a pure-Python system.
+
+The package implements the paper's entire architecture over a synthetic
+guest machine (see DESIGN.md for the substitution rationale):
+
+* :mod:`repro.guest` — the vx32 guest ISA: assembler, encoder, reference CPU
+* :mod:`repro.ir` — the D&R intermediate representation
+* :mod:`repro.frontend` / :mod:`repro.opt` / :mod:`repro.backend` — the
+  eight-phase JIT pipeline
+* :mod:`repro.core` — the framework core: dispatcher, scheduler, events,
+  syscall wrappers, signals, SMC handling, errors
+* :mod:`repro.kernel` / :mod:`repro.libc` — the simulated OS and guest libc
+* :mod:`repro.tools` — Nulgrind, ICnt*, Memcheck, Cachegrind, Massif,
+  TaintCheck, Tracegrind
+* :mod:`repro.baseline` — a copy-and-annotate framework (the Pin stand-in)
+* :mod:`repro.workloads` — the 25 SPEC-shaped benchmark programs
+
+Quickstart::
+
+    from repro import assemble, build_source, run_native, run_tool
+
+    image = assemble(build_source(MY_ASM), filename="demo")
+    print(run_native(image).stdout)            # bare-machine run
+    result = run_tool("memcheck", image)       # run under Memcheck
+    for error in result.errors:
+        print(error.format())
+"""
+
+from .core.options import Options, parse_argv
+from .core.tool import Tool
+from .core.valgrind import Valgrind, VgResult, run_tool
+from .guest.asm import assemble
+from .guest.program import VxImage
+from .libc.stubs import build_source
+from .native import NativeResult, run_native
+from .tools import available_tools, create_tool
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Options",
+    "parse_argv",
+    "Tool",
+    "Valgrind",
+    "VgResult",
+    "run_tool",
+    "assemble",
+    "VxImage",
+    "build_source",
+    "NativeResult",
+    "run_native",
+    "available_tools",
+    "create_tool",
+    "__version__",
+]

@@ -1,0 +1,7 @@
+"""``python -m repro`` — the valgrind-style launcher."""
+
+import sys
+
+from .cli import main
+
+sys.exit(main())

@@ -1,0 +1,376 @@
+"""The hx host CPU emulator.
+
+Executes *assembled* translations (the byte strings Phase 8 produces and
+the translation table stores).  Each translation's bytes are decoded and
+compiled into a list of Python closures once, then cached on the
+translation, so repeated executions — the overwhelmingly common case —
+pay only the closure-dispatch cost.
+
+Guest faults (unmapped/forbidden memory, division by zero) propagate as
+exceptions; the scheduler turns them into guest signals.  The ThreadState
+PC is kept precise by the PUT(pc)s the front-end emits, so fault reporting
+can trust ``ts.pc``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from ..guest.regs import CALL_SAVE_BASE, SPILL_AREA_BASE, SPILL_SLOT_SIZE
+from ..ir.helpers import HelperRegistry
+from ..ir.ops import get_op
+from ..ir.types import Ty
+from ..ir.values import from_bytes, to_bytes
+from ..kernel.memory import GuestMemory
+from .hostisa import (
+    BIN,
+    CALL,
+    CSEL,
+    HInsn,
+    LDG,
+    LDM,
+    LI,
+    LIF,
+    MOVR,
+    RC,
+    RELOAD,
+    RET,
+    Reg,
+    SETPCI,
+    SETPCR,
+    SIDEEXIT,
+    SPILL,
+    STG,
+    STM,
+    Slot,
+    UN,
+    decode_insns,
+)
+
+
+class HostCPU:
+    """Executes assembled host code against a ThreadState + guest memory."""
+
+    def __init__(self, memory: GuestMemory, helpers: HelperRegistry, env: object):
+        self.mem = memory
+        self.helpers = helpers
+        #: Execution environment handed to dirty helpers.
+        self.env = env
+        # Register files are instance state: translations never nest.
+        self.ir: List[int] = [0] * 8
+        self.fr: List[float] = [0.0] * 8
+        self.vr: List[int] = [0] * 8
+        #: Current thread's state, set by run().
+        self.ts = None
+        #: Total host instructions executed (a deterministic cost metric).
+        self.host_insns = 0
+
+    # -- compilation -------------------------------------------------------------
+
+    def _file(self, rc: RC) -> list:
+        return {RC.INT: self.ir, RC.FLT: self.fr, RC.VEC: self.vr}[rc]
+
+    def compile(self, code: bytes) -> List[Callable[[], Optional[str]]]:
+        """Decode + compile assembled bytes into executable closures."""
+        return [self._compile_insn(i) for i in decode_insns(code)]
+
+    def _compile_insn(self, insn: HInsn) -> Callable[[], Optional[str]]:
+        cpu = self
+        mem = self.mem
+        if isinstance(insn, LI):
+            f = self._file(insn.dst.rc)
+            d, imm = insn.dst.n, insn.imm
+
+            def run():
+                f[d] = imm
+                return None
+
+            return run
+        if isinstance(insn, LIF):
+            f = self._file(insn.dst.rc)
+            d, imm = insn.dst.n, insn.imm
+
+            def run():
+                f[d] = imm
+                return None
+
+            return run
+        if isinstance(insn, MOVR):
+            fd, fs = self._file(insn.dst.rc), self._file(insn.src.rc)
+            d, s = insn.dst.n, insn.src.n
+
+            def run():
+                fd[d] = fs[s]
+                return None
+
+            return run
+        if isinstance(insn, BIN):
+            op = get_op(insn.op).fn
+            fd = self._file(insn.dst.rc)
+            f1 = self._file(insn.src1.rc)
+            f2 = self._file(insn.src2.rc)
+            d, s1, s2 = insn.dst.n, insn.src1.n, insn.src2.n
+
+            def run():
+                fd[d] = op(f1[s1], f2[s2])
+                return None
+
+            return run
+        if isinstance(insn, UN):
+            op = get_op(insn.op).fn
+            fd = self._file(insn.dst.rc)
+            fs = self._file(insn.src.rc)
+            d, s = insn.dst.n, insn.src.n
+
+            def run():
+                fd[d] = op(fs[s])
+                return None
+
+            return run
+        if isinstance(insn, LDG):
+            fd = self._file(insn.dst.rc)
+            d, off, ty = insn.dst.n, insn.off, insn.ty
+            if ty.is_int:
+                size = ty.size
+                end = off + size
+
+                def run():
+                    fd[d] = int.from_bytes(cpu.ts.data[off:end], "little")
+                    return None
+
+            else:
+
+                def run():
+                    fd[d] = cpu.ts.get(off, ty)
+                    return None
+
+            return run
+        if isinstance(insn, STG):
+            fs = self._file(insn.src.rc)
+            s, off, ty = insn.src.n, insn.off, insn.ty
+            if ty.is_int:
+                size = ty.size
+                end = off + size
+
+                def run():
+                    cpu.ts.data[off:end] = fs[s].to_bytes(size, "little")
+                    return None
+
+            else:
+
+                def run():
+                    cpu.ts.put(off, ty, fs[s])
+                    return None
+
+            return run
+        if isinstance(insn, LDM):
+            fd = self._file(insn.dst.rc)
+            fa = self._file(insn.addr.rc)
+            d, a, ty = insn.dst.n, insn.addr.n, insn.ty
+            if ty.is_int and ty.size <= 8:
+                size = ty.size
+                pages = mem._pages
+                slow = mem.load
+                from ..kernel.memory import PROT_READ as _PR
+
+                def run():
+                    addr = fa[a] & 0xFFFFFFFF
+                    off = addr & 0xFFF
+                    if off <= 4096 - size:
+                        page = pages.get(addr >> 12)
+                        if page is not None and page[1] & _PR:
+                            fd[d] = int.from_bytes(
+                                page[0][off : off + size], "little"
+                            )
+                            return None
+                    fd[d] = slow(addr, ty)
+                    return None
+
+            else:
+
+                def run():
+                    fd[d] = mem.load(fa[a] & 0xFFFFFFFF, ty)
+                    return None
+
+            return run
+        if isinstance(insn, STM):
+            fa = self._file(insn.addr.rc)
+            fs = self._file(insn.src.rc)
+            a, s, ty = insn.addr.n, insn.src.n, insn.ty
+            if ty.is_int and ty.size <= 8:
+                size = ty.size
+                pages = mem._pages
+                slow = mem.store
+                from ..kernel.memory import PROT_WRITE as _PW
+
+                def run():
+                    addr = fa[a] & 0xFFFFFFFF
+                    off = addr & 0xFFF
+                    if off <= 4096 - size:
+                        page = pages.get(addr >> 12)
+                        if page is not None and page[1] & _PW:
+                            page[0][off : off + size] = fs[s].to_bytes(
+                                size, "little"
+                            )
+                            return None
+                    slow(addr, ty, fs[s])
+                    return None
+
+            else:
+
+                def run():
+                    mem.store(fa[a] & 0xFFFFFFFF, ty, fs[s])
+                    return None
+
+            return run
+        if isinstance(insn, CSEL):
+            fd = self._file(insn.dst.rc)
+            fc = self._file(insn.cond.rc)
+            fa = self._file(insn.a.rc)
+            fb = self._file(insn.b.rc)
+            d, c, a, b = insn.dst.n, insn.cond.n, insn.a.n, insn.b.n
+
+            def run():
+                fd[d] = fa[a] if fc[c] else fb[b]
+                return None
+
+            return run
+        if isinstance(insn, CALL):
+            helper = self.helpers.lookup(insn.helper)
+            fn = helper.fn
+            dirty = insn.dirty
+            getters = []
+            for arg in insn.args:
+                if isinstance(arg, Reg):
+                    fr = self._file(arg.rc)
+                    getters.append(lambda fr=fr, n=arg.n: fr[n])
+                elif isinstance(arg, Slot):
+                    off = SPILL_AREA_BASE + arg.n * SPILL_SLOT_SIZE
+                    getters.append(
+                        lambda off=off, ty=arg.ty: cpu.ts.get(off, ty)
+                    )
+                else:  # ImmArg
+                    getters.append(lambda v=arg.value: v)
+            guard = insn.guard
+            gfile = self._file(guard.rc) if guard is not None else None
+            gn = guard.n if guard is not None else 0
+            dst = insn.dst
+            dfile = self._file(dst.rc) if dst is not None else None
+            dn = dst.n if dst is not None else 0
+
+            ir, fr = self.ir, self.fr
+            save_lo = CALL_SAVE_BASE
+            save_hi = CALL_SAVE_BASE + 64
+
+            def run():
+                if gfile is not None and not gfile[gn]:
+                    return None
+                # All host registers are caller-saved: the generated call
+                # sequence stores the integer register file to the frame
+                # area and restores it afterwards (this, plus the spills
+                # the allocator inserts for values live across calls, is
+                # what makes helper calls cost more than inline analysis
+                # code on every platform).
+                saved_i = ir[:]
+                saved_f = fr[:]
+                cpu.ts.data[save_lo:save_hi] = b"".join(
+                    v.to_bytes(8, "little") for v in saved_i
+                )
+                args = [g() for g in getters]
+                ret = fn(cpu.env, *args) if dirty else fn(*args)
+                ir[:] = saved_i
+                fr[:] = saved_f
+                if dfile is not None:
+                    dfile[dn] = ret
+                return None
+
+            return run
+        if isinstance(insn, SIDEEXIT):
+            fc = self._file(insn.cond.rc)
+            c, dst, jk = insn.cond.n, insn.dst, insn.jk
+
+            def run():
+                if fc[c]:
+                    cpu.ts.pc = dst
+                    return jk
+                return None
+
+            return run
+        if isinstance(insn, SETPCI):
+            dst = insn.dst
+
+            def run():
+                cpu.ts.pc = dst
+                return None
+
+            return run
+        if isinstance(insn, SETPCR):
+            fs = self._file(insn.src.rc)
+            s = insn.src.n
+
+            def run():
+                cpu.ts.pc = fs[s] & 0xFFFFFFFF
+                return None
+
+            return run
+        if isinstance(insn, RET):
+            jk = insn.jk
+
+            def run():
+                return jk
+
+            return run
+        if isinstance(insn, SPILL):
+            fs = self._file(insn.src.rc)
+            s, ty = insn.src.n, insn.ty
+            off = SPILL_AREA_BASE + insn.slot * SPILL_SLOT_SIZE
+            if ty.is_int:
+                size = ty.size
+                end = off + size
+
+                def run():
+                    cpu.ts.data[off:end] = fs[s].to_bytes(size, "little")
+                    return None
+
+            else:
+
+                def run():
+                    cpu.ts.put(off, ty, fs[s])
+                    return None
+
+            return run
+        if isinstance(insn, RELOAD):
+            fd = self._file(insn.dst.rc)
+            d, ty = insn.dst.n, insn.ty
+            off = SPILL_AREA_BASE + insn.slot * SPILL_SLOT_SIZE
+            if ty.is_int:
+                end = off + ty.size
+
+                def run():
+                    fd[d] = int.from_bytes(cpu.ts.data[off:end], "little")
+                    return None
+
+            else:
+
+                def run():
+                    fd[d] = cpu.ts.get(off, ty)
+                    return None
+
+            return run
+        raise TypeError(f"cannot compile {insn!r}")  # pragma: no cover
+
+    # -- execution ---------------------------------------------------------------
+
+    def run(self, compiled: Sequence[Callable[[], Optional[str]]], ts) -> str:
+        """Execute one compiled translation; return its jump-kind string."""
+        self.ts = ts
+        i = 0
+        n = len(compiled)
+        while i < n:
+            r = compiled[i]()
+            i += 1
+            if r is not None:
+                self.host_insns += i
+                return r
+        self.host_insns += n
+        raise RuntimeError("translation fell off the end (missing RET)")

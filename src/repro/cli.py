@@ -1,0 +1,118 @@
+"""The ``valgrind``-style command-line launcher.
+
+Usage::
+
+    python -m repro --tool=memcheck [core/tool options] program.s [args...]
+
+The "executable" is a vx32 assembly file (assembled with the standard
+libc prelude) — our stand-in for an ELF binary.  A file whose first line
+is ``#!name`` is treated as a *script*: the named interpreter program is
+loaded instead, with the script's path as its first argument (mirroring
+the loader behaviour described in Section 3.3).
+
+Without ``--tool``, the program runs natively (the baseline).
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import List, Optional
+
+from .core.options import BadOption, Options, parse_argv
+from .core.valgrind import Valgrind
+from .guest.asm import AsmError, assemble
+from .guest.program import VxImage
+from .libc.stubs import build_source
+from .native import run_native
+from .tools import available_tools, create_tool
+
+USAGE = """\
+usage: python -m repro [--tool=<name>] [options] <program.s> [client args...]
+
+tools: {tools}
+
+core options:
+  --smc-check=none|stack|all   self-modifying-code checking (default: stack)
+  --max-stackframe=<bytes>     stack-switch heuristic threshold (default 2MB)
+  --chaining=yes|no            translation chaining (default: no)
+  --log-file=<path>            send tool output to a file (default: stderr)
+  --suppressions=<file>        load error suppressions
+  --stack-size=<bytes>         client stack size
+(unrecognised --options are offered to the tool)
+"""
+
+
+def load_image(path: str, *, filename: Optional[str] = None) -> VxImage:
+    """Assemble a .s file (with the libc prelude) into an image.
+
+    Recognises the ``#!interpreter`` script convention.
+    """
+    with open(path) as f:
+        source = f.read()
+    name = filename or path
+    if source.startswith("#!"):
+        interp = source.split("\n", 1)[0][2:].strip()
+        img = VxImage(name=name, interpreter=interp)
+        return img
+    return assemble(build_source(source), filename=name)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv or argv[0] in ("-h", "--help"):
+        print(USAGE.format(tools=", ".join(available_tools())))
+        return 0
+    try:
+        tool_name, options, rest = parse_argv(argv)
+    except BadOption as exc:
+        print(f"repro: {exc}", file=sys.stderr)
+        return 2
+    if not rest:
+        print("repro: no client program given", file=sys.stderr)
+        return 2
+    program_path, client_args = rest[0], rest[1:]
+    try:
+        image = load_image(program_path)
+    except (OSError, AsmError) as exc:
+        print(f"repro: {exc}", file=sys.stderr)
+        return 2
+    client_argv = [program_path] + client_args
+
+    if tool_name is None:
+        if options.tool_options:
+            print(
+                f"repro: unrecognised options {options.tool_options} "
+                "(no tool selected)",
+                file=sys.stderr,
+            )
+            return 2
+        result = run_native(image, client_argv)
+        sys.stdout.write(result.stdout)
+        sys.stderr.write(result.stderr)
+        if result.fatal_signal is not None:
+            print(f"repro: killed by signal {result.fatal_signal}", file=sys.stderr)
+        return result.exit_code
+
+    try:
+        tool = create_tool(tool_name)
+    except KeyError as exc:
+        print(f"repro: {exc}", file=sys.stderr)
+        return 2
+    try:
+        vg = Valgrind(tool, options)
+    except ValueError as exc:
+        print(f"repro: {exc}", file=sys.stderr)
+        return 2
+    result = vg.run(image, client_argv, resolve_image=load_image)
+    sys.stdout.write(result.stdout)
+    sys.stderr.write(result.stderr)
+    if result.outcome.fatal_signal is not None:
+        print(
+            f"repro: client killed by signal {result.outcome.fatal_signal}",
+            file=sys.stderr,
+        )
+    return result.exit_code
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

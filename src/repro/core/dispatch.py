@@ -1,0 +1,173 @@
+"""The dispatcher (Section 3.9).
+
+Control flows from one translation to the next via the *dispatcher*
+(fast) or the *scheduler* (slow).  The dispatcher looks translations up in
+a small direct-mapped cache of recently-used translations (the paper
+reports a ~98% hit rate and a fourteen-instruction fast path); on a miss
+it falls back to the full translation table, and if the translation does
+not exist at all, control returns to the scheduler to make one.
+
+The dispatcher also causes control to fall back to the scheduler every
+few thousand translation executions so the scheduler can check for thread
+switches and pending signals.
+
+Optional *chaining* (linking) patches a translation to jump straight to
+its constant successor, avoiding the dispatcher entirely; the real
+Valgrind 3.2.1 did not do this (its old JIT did), so it is off by default
+and exists here for the ablation bench.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple
+
+from ..ir.stmt import JumpKind
+from .options import Options
+from .transtab import TranslationTable
+from .translate import Translation
+
+_BORING = JumpKind.Boring.value
+_CALL = JumpKind.Call.value
+_RET = JumpKind.Ret.value
+#: Shadow call-stack depth cap (pathological recursion protection).
+_CALLSTACK_MAX = 16384
+
+
+@dataclass
+class DispatchStats:
+    fast_hits: int = 0
+    slow_hits: int = 0
+    chained: int = 0
+    misses: int = 0
+    blocks_executed: int = 0
+    quantum_expiries: int = 0
+    smc_flushes: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.fast_hits + self.slow_hits + self.chained + self.misses
+        return (self.fast_hits + self.chained) / total if total else 0.0
+
+
+class Dispatcher:
+    """Runs translations back-to-back for one thread until something
+    needs the scheduler's attention."""
+
+    def __init__(
+        self,
+        transtab: TranslationTable,
+        hostcpu,
+        options: Options,
+        smc_recheck: Optional[Callable[[Translation], bool]] = None,
+    ):
+        self.transtab = transtab
+        self.hostcpu = hostcpu
+        self.options = options
+        self.smc_recheck = smc_recheck
+        size = options.dispatch_cache_size
+        self._mask = size - 1
+        self._cache: list = [None] * size
+        self.stats = DispatchStats()
+        #: Approximate guest instructions executed (sums each executed
+        #: block's IMark count; side exits overcount slightly).
+        self.guest_insns = 0
+
+    def flush_cache(self) -> None:
+        """Invalidate the fast cache (after any translation discard)."""
+        self._cache = [None] * len(self._cache)
+
+    def run(self, ts, max_blocks: Optional[int] = None) -> Tuple[str, object]:
+        """Execute translations for thread state *ts* until an event.
+
+        Returns one of:
+          ("translate", pc)   — no translation exists for pc; make one
+          ("jumpkind", jk)    — a non-Boring jump kind needs handling
+          ("smc", t)          — an SMC hash check failed on translation t
+          ("quantum", None)   — the dispatch quantum expired
+        """
+        stats = self.stats
+        cache = self._cache
+        mask = self._mask
+        hostcpu = self.hostcpu
+        chaining = self.options.chaining
+        smc_recheck = self.smc_recheck
+        quantum = self.options.dispatch_quantum
+        if max_blocks is not None:
+            quantum = min(quantum, max_blocks)
+        n = 0
+        prev: Optional[Translation] = None
+        t: Optional[Translation] = None
+        while n < quantum:
+            pc = ts.pc
+            # Chained fast path: the previous translation already knows
+            # its successor.
+            if t is None:
+                if chaining and prev is not None:
+                    cand = prev.chain_next
+                    if cand is not None and not cand.dead and cand.guest_addr == pc:
+                        t = cand
+                        stats.chained += 1
+                if t is None:
+                    idx = (pc >> 1) & mask
+                    cand = cache[idx]
+                    if cand is not None and cand.guest_addr == pc and not cand.dead:
+                        t = cand
+                        stats.fast_hits += 1
+                    else:
+                        # Fast look-up failed: search the full table (this
+                        # is the "scheduler" slow path of Section 3.9).
+                        t = self.transtab.lookup(pc)
+                        if t is None:
+                            stats.misses += 1
+                            return ("translate", pc)
+                        cache[idx] = t
+                        stats.slow_hits += 1
+            if t.smc_checked and smc_recheck is not None and not smc_recheck(t):
+                stats.smc_flushes += 1
+                return ("smc", t)
+            if t.compiled is None:
+                t.compiled = hostcpu.compile(t.code)
+            jk = hostcpu.run(t.compiled, ts)
+            n += 1
+            stats.blocks_executed += 1
+            self.guest_insns += t.stats.guest_insns
+            if jk != _BORING:
+                if jk == _CALL:
+                    # Maintain the shadow call stack used for stack traces:
+                    # the return address was just pushed at [sp].
+                    cs = ts.callstack
+                    cs.append((hostcpu.mem.load32(ts.sp), ts.pc))
+                    if len(cs) > _CALLSTACK_MAX:
+                        del cs[: _CALLSTACK_MAX // 2]
+                elif jk == _RET:
+                    cs = ts.callstack
+                    target = ts.pc
+                    if cs:
+                        if cs[-1][0] == target:
+                            cs.pop()
+                        else:
+                            # Tolerate tail calls / longjmp-ish control flow.
+                            for depth in range(2, min(9, len(cs) + 1)):
+                                if cs[-depth][0] == target:
+                                    del cs[-depth:]
+                                    break
+                else:
+                    return ("jumpkind", jk)
+            if chaining and prev is not None and prev.chain_next is None:
+                # Lazily record the observed constant successor.
+                prev.chain_next = t
+            prev = t
+            # Next iteration: resolve the new pc.
+            nxt = None
+            if chaining:
+                cand = t.chain_next
+                if cand is not None and not cand.dead and cand.guest_addr == ts.pc:
+                    nxt = cand
+                    stats.chained += 1
+            t = nxt
+        stats.quantum_expiries += 1
+        return ("quantum", None)
+    # NOTE on chaining fidelity: we only chain Boring->Boring constant
+    # successors, and only one link deep per step, mirroring patched
+    # direct branches.

@@ -1,0 +1,135 @@
+"""Core command-line options.
+
+The ``valgrind``-style launcher accepts ``--option=value`` arguments
+before the client program name; unrecognised options are offered to the
+tool, and anything after the program name belongs to the client.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+
+class BadOption(Exception):
+    pass
+
+
+@dataclass
+class Options:
+    """Core configuration (defaults mirror the paper where it gives one)."""
+
+    #: Self-modifying-code checking: none | stack | all (Section 3.16; the
+    #: default is to check only code on the stack).
+    smc_check: str = "stack"
+    #: Stack-switch heuristic threshold: SP changes larger than this are
+    #: treated as a switch to a different stack (Section 3.12; 2MB default).
+    max_stackframe: int = 2 * 1024 * 1024
+    #: Translation-table size in entries (the real thing uses ~400k;
+    #: scaled down with our scaled workloads).
+    transtab_entries: int = 32768
+    #: Translation-table eviction policy: fifo (the paper's) or lru.
+    transtab_policy: str = "fifo"
+    #: Direct-mapped dispatcher cache size (power of two).
+    dispatch_cache_size: int = 8192
+    #: Drop back to the scheduler after this many block executions, to check
+    #: for thread switches and pending signals (Section 3.9).
+    dispatch_quantum: int = 5000
+    #: Thread timeslice, in code blocks (Section 3.14: 100,000 blocks;
+    #: scaled down by default to match our scaled workloads).
+    thread_timeslice: int = 10000
+    #: Enable translation chaining (off, as in the paper's Valgrind 3.2.1;
+    #: the dispatcher-ablation bench switches it on).
+    chaining: bool = False
+    #: Run the IR sanity checker between translation phases.
+    sanity_level: int = 1
+    #: Enable intra-block self-loop unrolling in opt1.
+    unroll: bool = True
+    #: Disable opt1 / opt2 (for the optimisation-ablation bench).
+    opt1: bool = True
+    opt2: bool = True
+    #: Where tool/core output goes: "stderr", "stdout" or a file path.
+    log_target: str = "stderr"
+    #: Suppression file paths.
+    suppressions: List[str] = field(default_factory=list)
+    #: Print each translation's IR as it is made (debugging aid).
+    trace_translations: bool = False
+    #: Guest stack size in bytes.
+    stack_size: int = 1024 * 1024
+    #: Tool-specific options that the core did not recognise.
+    tool_options: List[str] = field(default_factory=list)
+
+    _FLAG_NAMES = {
+        "chaining": "chaining",
+        "unroll": "unroll",
+        "opt1": "opt1",
+        "opt2": "opt2",
+        "trace-translations": "trace_translations",
+    }
+
+    def set(self, option: str) -> bool:
+        """Apply one ``--name=value`` option; False if unrecognised."""
+        if not option.startswith("--"):
+            raise BadOption(f"not an option: {option!r}")
+        body = option[2:]
+        name, _, value = body.partition("=")
+        if name == "smc-check":
+            if value not in ("none", "stack", "all"):
+                raise BadOption(f"--smc-check must be none|stack|all, got {value!r}")
+            self.smc_check = value
+        elif name == "max-stackframe":
+            self.max_stackframe = int(value, 0)
+        elif name == "transtab-entries":
+            self.transtab_entries = int(value, 0)
+        elif name == "transtab-policy":
+            if value not in ("fifo", "lru"):
+                raise BadOption("--transtab-policy must be fifo|lru")
+            self.transtab_policy = value
+        elif name == "dispatch-cache":
+            n = int(value, 0)
+            if n & (n - 1):
+                raise BadOption("--dispatch-cache must be a power of two")
+            self.dispatch_cache_size = n
+        elif name == "dispatch-quantum":
+            self.dispatch_quantum = int(value, 0)
+        elif name == "thread-timeslice":
+            self.thread_timeslice = int(value, 0)
+        elif name == "sanity-level":
+            self.sanity_level = int(value, 0)
+        elif name == "log-file":
+            self.log_target = value
+        elif name == "log-fd":
+            self.log_target = {"1": "stdout", "2": "stderr"}.get(value, value)
+        elif name == "suppressions":
+            self.suppressions.append(value)
+        elif name == "stack-size":
+            self.stack_size = int(value, 0)
+        elif name in self._FLAG_NAMES:
+            if value not in ("yes", "no", ""):
+                raise BadOption(f"--{name} must be yes|no")
+            setattr(self, self._FLAG_NAMES[name], value != "no")
+        else:
+            return False
+        return True
+
+
+def parse_argv(argv: List[str]) -> Tuple[Optional[str], Options, List[str]]:
+    """Parse a valgrind-style command line.
+
+    Returns (tool name or None, core options, remaining argv where
+    remaining[0] is the client program).  Unrecognised ``--`` options are
+    collected into ``options.tool_options`` for the tool to inspect.
+    """
+    opts = Options()
+    tool: Optional[str] = None
+    i = 0
+    while i < len(argv):
+        arg = argv[i]
+        if not arg.startswith("--"):
+            break
+        if arg.startswith("--tool="):
+            tool = arg.split("=", 1)[1]
+        elif not opts.set(arg):
+            opts.tool_options.append(arg)
+        i += 1
+    return tool, opts, argv[i:]

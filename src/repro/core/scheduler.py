@@ -1,0 +1,589 @@
+"""The scheduler: thread serialisation, signals, and trap handling.
+
+Sections 3.9/3.14/3.15.  The scheduler is the slow path around the
+dispatcher: it makes translations, runs system calls through the
+wrappers, dispatches host-libc calls (through any tool wrappers), handles
+client requests, and manages threads and signals.
+
+* **Thread serialisation** (3.14): only the thread holding the big lock
+  runs; threads drop the lock before blocking system calls or after a
+  timeslice of code blocks.  The kernel-style run queue chooses who runs
+  next, but the scheduler dictates *when* switches occur — so shadow
+  loads/stores can never interleave with their originals.
+
+* **Signals** (3.15): the core intercepts all signal registrations and
+  deliveries; asynchronous signals are delivered only *between* code
+  blocks, which also guarantees they never separate a load/store from its
+  shadow counterpart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..backend.hostcpu import HostCPU
+from ..frontend.disasm import TranslationFault
+from ..guest.encoding import decode
+from ..guest.loader import SIGPAGE_ADDR, THREAD_STACK_REGION, LoadedProgram
+from ..guest.refcpu import CPUError
+from ..guest.regs import OFFSET_IP_AT_SYSCALL, SP
+from ..ir.stmt import JumpKind
+from ..ir.types import Ty
+from ..kernel import kernel as K
+from ..kernel.kernel import Kernel, ProcessExit
+from ..kernel.memory import GuestFault, GuestMemory, PROT_RWX
+from ..kernel.sigframe import FRAME_PUSH, pop_signal_frame, push_signal_frame
+from . import clientreq as CR
+from .dispatch import Dispatcher
+from .events import EventRegistry
+from .function_wrap import FunctionRedirector
+from .options import Options
+from .smc import SmcPolicy
+from .syscalls import SyscallWrappers
+from .threadstate import ThreadState, ThreadStatus
+from .translate import SP_TRACK_HELPER, Translator
+from .transtab import TranslationTable
+
+M32 = 0xFFFFFFFF
+
+
+class BigLock:
+    """The thread serialisation lock (Section 3.14).
+
+    In real Valgrind this is a pipe holding a single character; here the
+    process model is already serial, so the lock exists to *model* the
+    discipline — exactly one holder, released only at blocking syscalls
+    and timeslice expiry — and to expose its statistics.
+    """
+
+    def __init__(self) -> None:
+        self.holder: Optional[int] = None
+        self.acquisitions = 0
+        self.handoffs = 0
+
+    def acquire(self, tid: int) -> None:
+        assert self.holder is None, "big lock already held"
+        self.holder = tid
+        self.acquisitions += 1
+
+    def release(self, tid: int) -> None:
+        assert self.holder == tid, "big lock released by non-holder"
+        self.holder = None
+        self.handoffs += 1
+
+
+class _TsCtx:
+    """RegContext adapter over a ThreadState, for signal frames."""
+
+    def __init__(self, ts: ThreadState):
+        self.ts = ts
+
+    def get_reg(self, i: int) -> int:
+        return self.ts.reg(i)
+
+    def set_reg_(self, i: int, v: int) -> None:
+        self.ts.set_reg(i, v)
+
+    def get_pc(self) -> int:
+        return self.ts.pc
+
+    def set_pc(self, v: int) -> None:
+        self.ts.pc = v
+
+    def get_thunk(self):
+        from ..guest import regs as R
+
+        g = self.ts.get
+        return (
+            g(R.OFFSET_CC_OP, Ty.I32),
+            g(R.OFFSET_CC_DEP1, Ty.I32),
+            g(R.OFFSET_CC_DEP2, Ty.I32),
+            g(R.OFFSET_CC_NDEP, Ty.I32),
+        )
+
+    def set_thunk(self, op, dep1, dep2, ndep) -> None:
+        from ..guest import regs as R
+
+        p = self.ts.put
+        p(R.OFFSET_CC_OP, Ty.I32, op)
+        p(R.OFFSET_CC_DEP1, Ty.I32, dep1)
+        p(R.OFFSET_CC_DEP2, Ty.I32, dep2)
+        p(R.OFFSET_CC_NDEP, Ty.I32, ndep)
+
+
+class VgMachine:
+    """libc Machine interface bound to the scheduler's current thread.
+
+    Its ``syscall`` goes through the *wrapper* layer, so allocator brk
+    calls made by host libc fire the same R6 events real guest syscalls
+    do.
+    """
+
+    def __init__(self, sched: "Scheduler", tid: int):
+        self._sched = sched
+        self._tid = tid
+
+    @property
+    def mem(self) -> GuestMemory:
+        return self._sched.memory
+
+    def reg(self, i: int) -> int:
+        return self._sched.threads[self._tid].reg(i)
+
+    def set_reg(self, i: int, value: int) -> None:
+        self._sched.threads[self._tid].set_reg(i, value)
+        # A host-side write of a guest register produces a defined value;
+        # the event lets shadow-value tools update the register's shadow.
+        from ..guest.regs import gpr_offset
+
+        self._sched.events.fire(
+            "post_reg_write", self._tid, gpr_offset(i), 4, "host libc"
+        )
+
+    def syscall(self, num: int, a1: int = 0, a2: int = 0, a3: int = 0) -> int:
+        r = self._sched.wrappers.do_syscall(self._tid, num, a1, a2, a3,
+                                            from_host=True)
+        if r is K.BLOCKED or r is K.NO_RESULT:
+            raise RuntimeError("libc made a blocking syscall")
+        return r
+
+    @property
+    def tid(self) -> int:
+        return self._tid
+
+
+class ExecEnv:
+    """The environment handed to dirty helpers (tool helpers included)."""
+
+    def __init__(self, sched: "Scheduler"):
+        self._sched = sched
+
+    @property
+    def state(self) -> ThreadState:
+        return self._sched.current_ts
+
+    @property
+    def mem(self) -> GuestMemory:
+        return self._sched.memory
+
+    @property
+    def tid(self) -> int:
+        return self._sched.current_tid
+
+    @property
+    def tool(self):
+        return self._sched.tool
+
+    @property
+    def core(self):
+        return self._sched.core
+
+    def guest_insns(self) -> int:
+        return self._sched.guest_insns()
+
+    def stack_trace_pcs(self, max_depth: int = 16) -> List[int]:
+        """Current stack trace, innermost first, for error reports."""
+        ts = self._sched.current_ts
+        pcs = [ts.pc]
+        for retaddr, _callee in reversed(ts.callstack):
+            pcs.append(retaddr)
+            if len(pcs) >= max_depth:
+                break
+        return pcs
+
+
+@dataclass
+class RunOutcome:
+    exit_code: int
+    fatal_signal: Optional[int] = None
+    blocks_executed: int = 0
+    guest_insns: int = 0
+    translations: int = 0
+
+
+class Scheduler:
+    """Drives client execution for the Valgrind core."""
+
+    def __init__(
+        self,
+        core,  # the Valgrind instance (back-reference for tools)
+        kernel: Kernel,
+        program: LoadedProgram,
+        tool,
+        options: Options,
+        events: EventRegistry,
+        helpers,
+        libc,
+        redirector: FunctionRedirector,
+        error_mgr=None,
+    ):
+        self.core = core
+        self.kernel = kernel
+        self.memory = kernel.memory
+        self.program = program
+        self.tool = tool
+        self.options = options
+        self.events = events
+        self.libc = libc
+        self.redirector = redirector
+        self.error_mgr = error_mgr
+
+        self.threads: Dict[int, ThreadState] = {}
+        self._zombies: Dict[int, int] = {}
+        self._run_queue: List[int] = []
+        self._next_tid = 1
+        self.current_tid = 1
+        self.big_lock = BigLock()
+        self.registered_stacks = CR.RegisteredStacks()
+        self._next_thread_stack = THREAD_STACK_REGION
+        self._exit: Optional[ProcessExit] = None
+        self.fatal_signal: Optional[int] = None
+
+        # Execution machinery.
+        self.env = ExecEnv(self)
+        self.hostcpu = HostCPU(self.memory, helpers, self.env)
+        self.transtab = TranslationTable(options.transtab_entries,
+                                         policy=options.transtab_policy)
+        self.smc = SmcPolicy(options.smc_check, self._fetch_exact)
+        self.translator = Translator(
+            self._fetch,
+            tool,
+            options,
+            track_stack_events=events.tracks_stack_events,
+        )
+        self.translator.disasm._chase_ok = self._chase_ok
+        self.dispatcher = Dispatcher(
+            self.transtab, self.hostcpu, options, smc_recheck=self.smc.recheck
+        )
+        self.wrappers = SyscallWrappers(
+            events, kernel, self, on_code_unmapped=self._on_code_unmapped
+        )
+        if SP_TRACK_HELPER not in helpers:
+            helpers.register_dirty(SP_TRACK_HELPER, _track_sp_change)
+
+        # Main thread.
+        ts = ThreadState(tid=1)
+        ts.pc = program.entry
+        ts.set_reg(SP, program.initial_sp)
+        ts.stack_base = program.stack_base
+        ts.stack_limit = program.stack_top
+        self.threads[1] = ts
+        self._run_queue.append(1)
+        self._next_tid = 2
+        tool.at_thread_create(1)
+
+    # -- helpers -----------------------------------------------------------------
+
+    @property
+    def current_ts(self) -> ThreadState:
+        return self.threads[self.current_tid]
+
+    def _fetch(self, addr: int, n: int) -> bytes:
+        """Fetch up to n executable bytes (for the disassembler)."""
+        out = bytearray(self.memory.fetch(addr, 1))
+        for i in range(1, n):
+            try:
+                out += self.memory.fetch(addr + i, 1)
+            except GuestFault:
+                break
+        return bytes(out)
+
+    def _fetch_exact(self, addr: int, n: int) -> bytes:
+        return self.memory.fetch(addr, n)
+
+    def _chase_ok(self, addr: int) -> bool:
+        return self.redirector.resolve(addr) == addr
+
+    def _on_code_unmapped(self, addr: int, size: int) -> None:
+        if self.transtab.discard_range(addr, size):
+            self.dispatcher.flush_cache()
+
+    def guest_insns(self) -> int:
+        return self.dispatcher.guest_insns
+
+    # -- engine interface for the kernel ----------------------------------------------
+
+    def create_thread(self, entry: int, sp: int, arg: int) -> int:
+        if sp == 0:
+            size = 256 * 1024
+            base = self._next_thread_stack
+            self._next_thread_stack += size + 0x10000
+            self.memory.map(base, size, PROT_RWX)
+            self.events.fire("new_mem_mmap", base, size, True, True, True)
+            sp = base + size - 16
+        tid = self._next_tid
+        self._next_tid += 1
+        ts = ThreadState(tid=tid)
+        ts.pc = entry
+        sp = (sp - 8) & M32
+        self.memory.write(sp + 4, (arg & M32).to_bytes(4, "little"))
+        self.memory.write(sp, b"\0\0\0\0")
+        self.events.fire("post_mem_write", tid, sp, 8, "thread_create(args)")
+        ts.set_reg(SP, sp)
+        ts.stack_base = sp - 256 * 1024
+        ts.stack_limit = sp + 16
+        self.threads[tid] = ts
+        self._run_queue.append(tid)
+        self.tool.at_thread_create(tid)
+        return tid
+
+    def exit_thread(self, tid: int, status: int) -> None:
+        self.threads.pop(tid, None)
+        if tid in self._run_queue:
+            self._run_queue.remove(tid)
+        self._zombies[tid] = status & M32
+        self.tool.at_thread_exit(tid)
+
+    def join_status(self, tid: int) -> Optional[int]:
+        return self._zombies.get(tid)
+
+    def sigreturn(self, tid: int) -> None:
+        pop_signal_frame(_TsCtx(self.threads[tid]), self.memory)
+
+    # -- signals ------------------------------------------------------------------------
+
+    def _deliver_signal(self, tid: int, sig: int) -> None:
+        ts = self.threads.get(tid)
+        if ts is None:
+            return
+        handler = self.kernel.handler_for(sig)
+        if handler == K.SIG_DFL:
+            if sig in K.FATAL_BY_DEFAULT:
+                self.fatal_signal = sig
+                self._exit = ProcessExit(128 + sig)
+            return
+        push_signal_frame(_TsCtx(ts), self.memory, sig, handler, SIGPAGE_ADDR)
+        # The frame is kernel-written guest memory: tell the tool.
+        self.events.fire(
+            "post_mem_write", tid, (ts.sp) & M32, FRAME_PUSH, "signal frame"
+        )
+
+    def _check_signals(self, tid: int) -> None:
+        self.kernel.check_timers(self.guest_insns())
+        sig = self.kernel.next_pending(tid)
+        if sig is not None:
+            self._deliver_signal(tid, sig)
+
+    def post_fault(self, tid: int, sig: int) -> None:
+        self.kernel.post_signal(tid, sig)
+
+    # -- trap handlers --------------------------------------------------------------------
+
+    def _handle_syscall(self, tid: int) -> Optional[str]:
+        ts = self.threads[tid]
+        r = self.wrappers.do_syscall(
+            tid, ts.reg(0), ts.reg(1), ts.reg(2), ts.reg(3)
+        )
+        if r is K.BLOCKED:
+            ts.status = ThreadStatus.WAIT_JOIN
+            ts.joining = ts.reg(1)
+            return "blocked"
+        if r is not K.NO_RESULT:
+            ts.set_reg(0, r & M32)
+        return None
+
+    def _handle_lcall(self, tid: int) -> None:
+        ts = self.threads[tid]
+        ip = ts.get(OFFSET_IP_AT_SYSCALL, Ty.I32)
+        insn = decode(self.memory.read(ip, 6), 0, ip)
+        assert insn.mnemonic == "lcall", insn
+        index = insn.operands[0].value
+        machine = VgMachine(self, tid)
+        self.redirector.call_libc(index, machine)
+
+    def _handle_client_request(self, tid: int) -> None:
+        ts = self.threads[tid]
+        args = [ts.reg(i) for i in range(4)]
+        code = args[0]
+        result: Optional[int] = None
+        if code == CR.RUNNING_ON_VALGRIND:
+            result = 1
+        elif code == CR.DISCARD_TRANSLATIONS:
+            self._on_code_unmapped(args[1], args[2])
+            result = 0
+        elif code == CR.STACK_REGISTER:
+            result = self.registered_stacks.register(args[1], args[2])
+        elif code == CR.STACK_DEREGISTER:
+            result = int(self.registered_stacks.deregister(args[1]))
+        elif code == CR.STACK_CHANGE:
+            result = int(self.registered_stacks.change(args[1], args[2], args[3]))
+        elif code == CR.CLIENT_PRINT:
+            text = self.memory.read_cstring(args[1]).decode(errors="replace")
+            self.core.log(f"[client] {text}")
+            result = 0
+        else:
+            result = self.tool.handle_client_request(tid, args)
+            if result is None:
+                result = 0
+        ts.set_reg(0, result & M32)
+
+    # -- the main loop ------------------------------------------------------------------------
+
+    def run(self, max_blocks: Optional[int] = None) -> RunOutcome:
+        blocked: Dict[int, int] = {}  # tid -> join target
+        total_budget = max_blocks
+        while self._exit is None:
+            # Wake joiners whose target has died.
+            for tid, target in list(blocked.items()):
+                if target in self._zombies:
+                    ts = self.threads[tid]
+                    ts.set_reg(0, self._zombies[target])
+                    ts.status = ThreadStatus.RUNNABLE
+                    del blocked[tid]
+                    self._run_queue.append(tid)
+            if not self._run_queue:
+                if blocked:
+                    raise RuntimeError("deadlock: all client threads blocked")
+                self._exit = ProcessExit(0)
+                break
+            tid = self._run_queue.pop(0)
+            if tid not in self.threads:
+                continue
+            self.current_tid = tid
+            ts = self.threads[tid]
+            self.big_lock.acquire(tid)
+            slice_left = self.options.thread_timeslice
+            reschedule = True  # requeue the thread when its slice ends
+            while slice_left > 0 and self._exit is None:
+                self._check_signals(tid)
+                if self._exit is not None or tid not in self.threads:
+                    reschedule = tid in self.threads
+                    break
+                if total_budget is not None:
+                    if self.dispatcher.stats.blocks_executed >= total_budget:
+                        raise RuntimeError("block budget exhausted")
+                try:
+                    reason, payload = self.dispatcher.run(ts, max_blocks=slice_left)
+                except GuestFault:
+                    self.post_fault(tid, K.SIGSEGV)
+                    continue
+                except ZeroDivisionError:
+                    self.post_fault(tid, K.SIGFPE)
+                    continue
+                if reason == "quantum":
+                    slice_left -= self.options.dispatch_quantum
+                    continue
+                if reason == "translate":
+                    if not self._make_translation(tid, payload):
+                        continue  # fault was posted
+                    continue
+                if reason == "smc":
+                    # Stale translation: discard and retranslate.
+                    self.transtab.discard(payload.guest_addr)
+                    self.dispatcher.flush_cache()
+                    continue
+                # reason == "jumpkind"
+                jk = payload
+                if jk == JumpKind.Exit.value:
+                    self._exit = ProcessExit(ts.reg(0))
+                    break
+                if jk == JumpKind.Syscall.value:
+                    try:
+                        if self._handle_syscall(tid) == "blocked":
+                            blocked[tid] = ts.joining
+                            reschedule = False
+                            break  # drop the lock before blocking
+                    except ProcessExit as exc:
+                        self._exit = exc
+                        break
+                    if tid not in self.threads:
+                        reschedule = False
+                        break
+                    continue
+                if jk == JumpKind.LCall.value:
+                    try:
+                        self._handle_lcall(tid)
+                    except ProcessExit as exc:
+                        self._exit = exc
+                        break
+                    except GuestFault:
+                        self.post_fault(tid, K.SIGSEGV)
+                    if tid not in self.threads:
+                        reschedule = False
+                        break
+                    continue
+                if jk == JumpKind.ClientReq.value:
+                    self._handle_client_request(tid)
+                    continue
+                if jk == JumpKind.Yield.value:
+                    break  # voluntary switch
+                if jk == JumpKind.SigFPE.value:
+                    self.post_fault(tid, K.SIGFPE)
+                    continue
+                if jk == JumpKind.SigSEGV.value:
+                    self.post_fault(tid, K.SIGSEGV)
+                    continue
+                if jk == JumpKind.NoDecode.value:
+                    self.post_fault(tid, K.SIGILL)
+                    continue
+                raise RuntimeError(f"unhandled jump kind {jk}")
+            self.big_lock.release(tid)
+            if self._exit is None and reschedule and tid in self.threads:
+                self._run_queue.append(tid)
+
+        exit_code = self._exit.status if self._exit else 0
+        return RunOutcome(
+            exit_code=exit_code,
+            fatal_signal=self.fatal_signal,
+            blocks_executed=self.dispatcher.stats.blocks_executed,
+            guest_insns=self.guest_insns(),
+            translations=self.translator.translations_made,
+        )
+
+    def _make_translation(self, tid: int, pc: int) -> bool:
+        """Translate the block at *pc* (honouring redirects); False if a
+        fault was posted instead."""
+        target = self.redirector.resolve(pc)
+        try:
+            t = self.translator.translate(target)
+        except TranslationFault:
+            self.post_fault(tid, K.SIGSEGV)
+            return False
+        except GuestFault:
+            self.post_fault(tid, K.SIGSEGV)
+            return False
+        except CPUError:
+            self.post_fault(tid, K.SIGILL)
+            return False
+        t.guest_addr = pc  # key under the *requested* address
+        ts = self.threads[tid]
+        t.smc_checked = self.smc.should_check(t, ts.stack_base, ts.stack_limit)
+        self.transtab.insert(t)
+        return True
+
+
+def _track_sp_change(env: ExecEnv, old_sp: int, new_sp: int) -> int:
+    """Dirty helper: classify an SP change and fire the R7 stack events.
+
+    Follows the paper's heuristic: changes larger than --max-stackframe
+    (2MB by default) are assumed to be stack switches, not allocations;
+    client-registered stacks resolve the tricky cases exactly.
+    """
+    if new_sp == old_sp:
+        return 0
+    sched: Scheduler = env._sched
+    events = sched.events
+    threshold = sched.options.max_stackframe
+    delta = (old_sp - new_sp) & M32
+    # Interpret as a signed distance.
+    sdelta = delta - (1 << 32) if delta & 0x8000_0000 else delta
+    if abs(sdelta) > threshold or _different_registered_stack(sched, old_sp, new_sp):
+        events.fire("pre_stack_switch", old_sp, new_sp)
+        ts = sched.current_ts
+        reg = sched.registered_stacks.containing(new_sp)
+        if reg is not None:
+            _sid, start, end = reg
+            ts.stack_base, ts.stack_limit = start, end
+        return 0
+    if sdelta > 0:  # SP moved down: allocation
+        events.fire("new_mem_stack", new_sp, sdelta)
+    else:  # SP moved up: deallocation
+        events.fire("die_mem_stack", old_sp, -sdelta)
+    return 0
+
+
+def _different_registered_stack(sched: Scheduler, old_sp: int, new_sp: int) -> bool:
+    old = sched.registered_stacks.containing(old_sp)
+    new = sched.registered_stacks.containing(new_sp)
+    return old is not None and new is not None and old[0] != new[0]

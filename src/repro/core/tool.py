@@ -1,0 +1,69 @@
+"""The tool plug-in API.
+
+"Valgrind core + tool plug-in = Valgrind tool" (Section 3.1).  A tool's
+main job is to instrument the flat IR blocks the core hands it; beyond
+that it can subscribe to events, replace/wrap functions, handle client
+requests, and use the core's error-recording and output services.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from ..ir.block import IRSB
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .valgrind import Valgrind
+
+
+class Tool:
+    """Base class for tool plug-ins.
+
+    Lifecycle (mirroring Valgrind's): the core constructs the tool, calls
+    :meth:`pre_clo_init` (register needs, events, helpers), parses the
+    command line (calling :meth:`process_cmd_line_option` for unrecognised
+    options), then calls :meth:`post_clo_init`.  During execution the core
+    calls :meth:`instrument` for every translated block.  At exit it calls
+    :meth:`fini`.
+    """
+
+    #: Short name used for --tool= selection.
+    name: str = "tool"
+    description: str = ""
+
+    def __init__(self) -> None:
+        self.core: Optional["Valgrind"] = None
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def pre_clo_init(self, core: "Valgrind") -> None:
+        """Register events, helpers and needs.  Called before option parsing."""
+        self.core = core
+
+    def process_cmd_line_option(self, option: str) -> bool:
+        """Handle a tool-specific ``--option``; return True if recognised."""
+        return False
+
+    def post_clo_init(self) -> None:
+        """Called after command-line processing, before execution starts."""
+
+    def instrument(self, sb: IRSB) -> IRSB:
+        """Transform one flat-IR superblock.  The default adds nothing
+        (this is, in its entirety, Nulgrind)."""
+        return sb
+
+    def fini(self, exit_code: int) -> None:
+        """Called once the client has exited."""
+
+    # -- optional hooks ----------------------------------------------------------
+
+    def handle_client_request(self, tid: int, args: Sequence[int]) -> Optional[int]:
+        """Handle a tool-range client request; return the result value or
+        None if the request is not recognised."""
+        return None
+
+    def at_thread_create(self, tid: int) -> None:
+        """A new client thread came into existence."""
+
+    def at_thread_exit(self, tid: int) -> None:
+        """A client thread exited."""

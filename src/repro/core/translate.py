@@ -1,0 +1,275 @@
+"""The eight-phase translation pipeline (Section 3.7).
+
+========  ==========================  ===========================
+Phase     What                        Module
+========  ==========================  ===========================
+1         disassembly (arch-specific) :mod:`repro.frontend.disasm`
+2         optimisation 1              :mod:`repro.opt.opt1`
+3         instrumentation (the tool)  the tool plug-in
+(3b)      SP-change event calls       here (on the tool's behalf)
+4         optimisation 2              :mod:`repro.opt.opt2`
+5         tree building               :mod:`repro.opt.treebuild`
+6         instruction selection*      :mod:`repro.backend.isel`
+7         register allocation         :mod:`repro.backend.regalloc`
+8         assembly*                   :mod:`repro.backend.hostisa`
+========  ==========================  ===========================
+
+All phases are performed by the core except instrumentation, which is
+performed by the tool.
+"""
+
+from __future__ import annotations
+
+import time
+import zlib
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from ..frontend.disasm import Disassembler
+from ..frontend.spec import vx32_spec_helper
+from ..guest.regs import SP, gpr_offset
+from ..ir.block import IRSB
+from ..ir.expr import Expr, Get, RdTmp
+from ..ir.stmt import Dirty, IMark, Put, StateFx, Stmt
+from ..ir.types import Ty
+from ..ir.validate import validate
+from ..opt.opt1 import optimise1
+from ..opt.opt2 import optimise2
+from ..opt.treebuild import build_trees
+from ..backend.hostisa import encode_insns
+from ..backend.isel import select
+from ..backend.regalloc import AllocStats, allocate
+from .options import Options
+from .tool import Tool
+
+#: Dirty helper the core inserts after every SP write when the tool tracks
+#: stack events (R7).  Registered by the scheduler.
+SP_TRACK_HELPER = "vg_track_sp_change"
+
+
+@dataclass
+class TranslationStats:
+    """Per-translation pipeline statistics (feeds several benches)."""
+
+    guest_insns: int = 0
+    stmts_disasm: int = 0
+    stmts_opt1: int = 0
+    stmts_instrumented: int = 0
+    stmts_opt2: int = 0
+    host_insns: int = 0
+    alloc: Optional[AllocStats] = None
+    phase_seconds: dict = field(default_factory=dict)
+
+
+@dataclass
+class Translation:
+    """One finished translation, as stored in the translation table."""
+
+    guest_addr: int
+    #: Assembled host machine code (Phase 8 output).
+    code: bytes
+    #: Guest address ranges covered (start, len) — more than one when the
+    #: disassembler chased unconditional branches.
+    ranges: Tuple[Tuple[int, int], ...]
+    #: CRC of the original guest bytes, for self-modifying-code checking
+    #: (None when SMC checking is off for this translation).
+    smc_hash: Optional[int] = None
+    stats: TranslationStats = field(default_factory=TranslationStats)
+    #: Host closures, compiled lazily by the dispatcher.
+    compiled: Optional[list] = None
+    #: Chaining: resolved next translation for a constant Boring successor.
+    chain_next: Optional["Translation"] = None
+    #: Monotonic insertion number (set by the translation table; FIFO evict).
+    serial: int = 0
+    #: Set when evicted/discarded, so stale chain pointers are not followed.
+    dead: bool = False
+    #: Last-use counter (only maintained under the LRU ablation policy).
+    last_used: int = 0
+    #: True if the SMC hash must be re-checked before every execution
+    #: (Section 3.16: by default, only translations of on-stack code).
+    smc_checked: bool = False
+
+    @property
+    def guest_len(self) -> int:
+        return sum(length for _, length in self.ranges)
+
+    def covers(self, addr: int, size: int = 1) -> bool:
+        return any(
+            start < addr + size and addr < start + length
+            for start, length in self.ranges
+        )
+
+
+def _imark_ranges(sb: IRSB) -> Tuple[Tuple[int, int], ...]:
+    """Coalesce the block's IMarks into covered guest ranges."""
+    ranges: List[Tuple[int, int]] = []
+    for s in sb.stmts:
+        if isinstance(s, IMark):
+            if ranges and ranges[-1][0] + ranges[-1][1] == s.addr:
+                start, length = ranges[-1]
+                ranges[-1] = (start, length + s.length)
+            else:
+                ranges.append((s.addr, s.length))
+    return tuple(ranges)
+
+
+def add_sp_tracking(sb: IRSB) -> IRSB:
+    """Insert SP-change event calls after every stack-pointer PUT.
+
+    "The core instruments the code with calls to the event callbacks on
+    the tool's behalf" (Section 3.12).  The helper receives the old and
+    new SP and dispatches new_mem_stack/die_mem_stack (or the stack-switch
+    heuristic) at run time.
+    """
+    sp_off = gpr_offset(SP)
+    out = sb.copy()
+    stmts: List[Stmt] = []
+    for s in out.stmts:
+        if isinstance(s, Put) and s.offset == sp_off:
+            told = out.new_tmp(Ty.I32)
+            stmts.append(
+                # Capture the old SP before the PUT...
+                _wrtmp(told, Get(sp_off, Ty.I32))
+            )
+            stmts.append(s)
+            # ...and report the change after it.
+            stmts.append(
+                Dirty(
+                    SP_TRACK_HELPER,
+                    (RdTmp(told), s.data),
+                    state_fx=(StateFx(False, sp_off, 4),),
+                )
+            )
+        else:
+            stmts.append(s)
+    out.stmts = stmts
+    return out
+
+
+def _wrtmp(tmp: int, data: Expr) -> Stmt:
+    from ..ir.stmt import WrTmp
+
+    return WrTmp(tmp, data)
+
+
+class Translator:
+    """Runs the pipeline for one core instance."""
+
+    def __init__(
+        self,
+        fetch: Callable[[int, int], bytes],
+        tool: Tool,
+        options: Options,
+        *,
+        track_stack_events: bool = False,
+        collect_phase_times: bool = False,
+    ):
+        self.disasm = Disassembler(fetch)
+        self._fetch = fetch
+        self.tool = tool
+        self.options = options
+        self.track_stack_events = track_stack_events
+        self.collect_phase_times = collect_phase_times
+        #: Cumulative pipeline statistics.
+        self.translations_made = 0
+
+    def translate(self, addr: int) -> Translation:
+        """Translate the code block at guest address *addr*."""
+        opts = self.options
+        stats = TranslationStats()
+        times = stats.phase_seconds
+        clock = time.perf_counter if self.collect_phase_times else None
+
+        def tick(name: str, t0: float) -> float:
+            if clock is None:
+                return 0.0
+            t1 = clock()
+            times[name] = times.get(name, 0.0) + (t1 - t0)
+            return t1
+
+        t0 = clock() if clock else 0.0
+        # Phase 1: disassembly.
+        sb = self.disasm.disasm_block(addr)
+        stats.guest_insns = sum(1 for s in sb.stmts if isinstance(s, IMark))
+        stats.stmts_disasm = sb.num_real_stmts()
+        ranges = _imark_ranges(sb)
+        if opts.sanity_level >= 2:
+            validate(sb)
+        t0 = tick("disasm", t0)
+
+        # Phase 2: optimisation 1 (includes flattening).
+        if opts.opt1:
+            sb = optimise1(sb, spec_helper=vx32_spec_helper, unroll=opts.unroll)
+        else:
+            from ..opt.flatten import flatten
+
+            sb = flatten(sb)
+        stats.stmts_opt1 = sb.num_real_stmts()
+        if opts.sanity_level >= 1:
+            validate(sb, flat=True)
+        t0 = tick("opt1", t0)
+
+        # Phase 3: instrumentation, performed by the tool.
+        sb = self.tool.instrument(sb)
+        if self.track_stack_events:
+            sb = add_sp_tracking(sb)
+        stats.stmts_instrumented = sb.num_real_stmts()
+        if opts.sanity_level >= 1:
+            validate(sb, flat=True)
+        t0 = tick("instrument", t0)
+
+        # Phase 4: optimisation 2.
+        if opts.opt2:
+            sb = optimise2(sb, spec_helper=vx32_spec_helper)
+        stats.stmts_opt2 = sb.num_real_stmts()
+        t0 = tick("opt2", t0)
+
+        if opts.trace_translations:
+            from ..ir.pretty import fmt_irsb
+
+            print(f"==== translation at {addr:#x} "
+                  f"({stats.guest_insns} guest insns) ====")
+            print(fmt_irsb(sb))
+
+        # Phase 5: tree building.
+        tree = build_trees(sb)
+        if opts.sanity_level >= 2:
+            validate(tree)
+        t0 = tick("treebuild", t0)
+
+        # Phase 6: instruction selection.
+        vcode = select(tree)
+        t0 = tick("isel", t0)
+
+        # Phase 7: register allocation.
+        hcode, alloc_stats = allocate(vcode)
+        stats.alloc = alloc_stats
+        stats.host_insns = len(hcode)
+        t0 = tick("regalloc", t0)
+
+        # Phase 8: assembly.
+        code = encode_insns(hcode)
+        tick("assemble", t0)
+
+        smc_hash = None
+        if opts.smc_check != "none":
+            smc_hash = hash_guest_ranges(self._fetch, ranges)
+
+        self.translations_made += 1
+        return Translation(
+            guest_addr=addr,
+            code=code,
+            ranges=ranges,
+            smc_hash=smc_hash,
+            stats=stats,
+        )
+
+
+def hash_guest_ranges(
+    fetch: Callable[[int, int], bytes], ranges: Tuple[Tuple[int, int], ...]
+) -> int:
+    """CRC of the guest code bytes a translation was derived from."""
+    crc = 0
+    for start, length in ranges:
+        crc = zlib.crc32(fetch(start, length), crc)
+    return crc

@@ -1,0 +1,168 @@
+"""Translation storage (Section 3.8).
+
+Translations are stored in the translation table, a fixed-size,
+linear-probe hash table.  If the table gets more than 80% full,
+translations are evicted in chunks, 1/8th of the table at a time, using a
+FIFO policy — chosen over LRU "because it is simpler and it still does a
+fairly good job".  Translations are also evicted when code is unloaded
+(munmap) or invalidated by self-modifying code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+from .translate import Translation
+
+#: Eviction threshold (fraction full).
+FULL_FRACTION = 0.8
+#: Fraction of entries discarded per eviction round.
+EVICT_FRACTION = 1 / 8
+
+
+@dataclass
+class TransTabStats:
+    inserts: int = 0
+    evict_rounds: int = 0
+    evicted: int = 0
+    discarded: int = 0
+    lookups: int = 0
+    misses: int = 0
+
+
+class TranslationTable:
+    """Fixed-size linear-probe hash table of Translations, keyed by guest
+    address, with FIFO chunk eviction."""
+
+    def __init__(self, entries: int = 32768, policy: str = "fifo"):
+        if entries <= 0:
+            raise ValueError("table must have at least one entry")
+        if policy not in ("fifo", "lru"):
+            raise ValueError(f"bad eviction policy {policy!r}")
+        self.capacity = entries
+        #: Eviction policy: the paper chose FIFO over "the more obvious
+        #: LRU... because it is simpler and it still does a fairly good
+        #: job"; "lru" exists for the ablation bench.
+        self.policy = policy
+        self._slots: List[Optional[Translation]] = [None] * entries
+        self._used = 0
+        self._next_serial = 0
+        self.stats = TransTabStats()
+
+    def __len__(self) -> int:
+        return self._used
+
+    @property
+    def load(self) -> float:
+        return self._used / self.capacity
+
+    def _probe(self, addr: int) -> Iterator[int]:
+        i = (addr * 2654435761) % self.capacity  # Knuth multiplicative hash
+        for _ in range(self.capacity):
+            yield i
+            i = (i + 1) % self.capacity
+
+    def lookup(self, addr: int) -> Optional[Translation]:
+        self.stats.lookups += 1
+        for i in self._probe(addr):
+            t = self._slots[i]
+            if t is None:
+                break
+            if t.guest_addr == addr:
+                if self.policy == "lru":
+                    t.last_used = self._next_serial
+                    self._next_serial += 1
+                return t
+        self.stats.misses += 1
+        return None
+
+    def insert(self, t: Translation) -> None:
+        if self._used / self.capacity >= FULL_FRACTION:
+            self._evict_chunk()
+        t.serial = self._next_serial
+        self._next_serial += 1
+        for i in self._probe(t.guest_addr):
+            slot = self._slots[i]
+            if slot is None:
+                self._slots[i] = t
+                self._used += 1
+                self.stats.inserts += 1
+                return
+            if slot.guest_addr == t.guest_addr:
+                self._slots[i] = t  # replace stale translation
+                self.stats.inserts += 1
+                return
+        raise RuntimeError("translation table unexpectedly full")
+
+    def _evict_chunk(self) -> None:
+        """Drop the oldest 1/8th of stored translations (FIFO by insertion
+        order, or LRU by last use when the ablation policy is selected)."""
+        self.stats.evict_rounds += 1
+        n_goal = max(1, int(self.capacity * EVICT_FRACTION))
+        if self.policy == "lru":
+            live = sorted(
+                (t.last_used, i)
+                for i, t in enumerate(self._slots)
+                if t is not None
+            )
+        else:
+            live = sorted(
+                (t.serial, i) for i, t in enumerate(self._slots) if t is not None
+            )
+        for _, i in live[:n_goal]:
+            self._slots[i].dead = True
+            self._slots[i] = None
+            self._used -= 1
+            self.stats.evicted += 1
+        self._rehash()
+
+    def _rehash(self) -> None:
+        """Rebuild probe sequences after deletions (linear probing needs it)."""
+        entries = [t for t in self._slots if t is not None]
+        self._slots = [None] * self.capacity
+        self._used = 0
+        for t in entries:
+            for i in self._probe(t.guest_addr):
+                if self._slots[i] is None:
+                    self._slots[i] = t
+                    self._used += 1
+                    break
+
+    def discard(self, addr: int) -> bool:
+        """Remove the translation starting at *addr*, if present."""
+        removed = False
+        for i in self._probe(addr):
+            t = self._slots[i]
+            if t is None:
+                break
+            if t.guest_addr == addr:
+                t.dead = True
+                self._slots[i] = None
+                self._used -= 1
+                self.stats.discarded += 1
+                removed = True
+                break
+        if removed:
+            self._rehash()
+        return removed
+
+    def discard_range(self, addr: int, size: int) -> int:
+        """Discard every translation covering [addr, addr+size) — used on
+        munmap and for self-modifying code invalidation."""
+        victims = [
+            i
+            for i, t in enumerate(self._slots)
+            if t is not None and t.covers(addr, size)
+        ]
+        for i in victims:
+            self._slots[i].dead = True
+            self._slots[i] = None
+            self._used -= 1
+            self.stats.discarded += 1
+        if victims:
+            self._rehash()
+        return len(victims)
+
+    def all_translations(self) -> List[Translation]:
+        return [t for t in self._slots if t is not None]

@@ -1,0 +1,73 @@
+"""Architecture-specific helper functions referenced by generated IR.
+
+These are the vx32 equivalents of Valgrind's ``x86g_*`` guest helpers:
+
+* ``vx32g_calculate_flags`` / ``vx32g_calculate_condition`` — *clean*
+  (pure) helpers that materialise condition codes from the lazy thunk.
+  Section 3.6's point that "knowing precisely the operation and operands
+  most recently used to set the condition codes is helpful for some tools"
+  falls out of this design: the thunk is ordinary guest state.
+* ``vx32g_dirtyhelper_machid`` / ``vx32g_dirtyhelper_cycles`` — *dirty*
+  helpers that emulate the unusual instructions (our ``cpuid``/``rdtsc``)
+  rather than representing them in IR; their register footprints are
+  carried as Dirty-statement annotations so tools still see their effects.
+"""
+
+from __future__ import annotations
+
+from ..guest.regs import (
+    OFFSET_CC_DEP1,
+    OFFSET_CC_DEP2,
+    OFFSET_CC_NDEP,
+    OFFSET_CC_OP,
+    calculate_flags,
+    evaluate_cond,
+    gpr_offset,
+)
+from ..guest.refcpu import MACHID_VALUES
+from ..ir.helpers import HelperRegistry
+from ..ir.types import Ty
+
+CALC_FLAGS = "vx32g_calculate_flags"
+CALC_COND = "vx32g_calculate_condition"
+MACHID = "vx32g_dirtyhelper_machid"
+CYCLES = "vx32g_dirtyhelper_cycles"
+
+#: (offset, size) pairs naming the thunk fields a condition-code CCall
+#: reads, attached to the CCall so instrumenters can see through it.
+THUNK_READS = (
+    (OFFSET_CC_OP, 4),
+    (OFFSET_CC_DEP1, 4),
+    (OFFSET_CC_DEP2, 4),
+    (OFFSET_CC_NDEP, 4),
+)
+
+
+def _calc_flags(cc_op: int, dep1: int, dep2: int, ndep: int) -> int:
+    return calculate_flags(cc_op, dep1, dep2, ndep)
+
+
+def _calc_condition(cond: int, cc_op: int, dep1: int, dep2: int, ndep: int) -> int:
+    return evaluate_cond(cond, calculate_flags(cc_op, dep1, dep2, ndep))
+
+
+def _machid(env) -> int:
+    """Emulate the `machid` instruction: write IDs to r0..r3."""
+    for i, v in enumerate(MACHID_VALUES):
+        env.state.put(gpr_offset(i), Ty.I32, v)
+    return 0
+
+
+def _cycles(env) -> int:
+    """Emulate the `cycles` instruction: return the executed-insn count."""
+    return env.guest_insns() & 0xFFFFFFFF
+
+
+def register_frontend_helpers(registry: HelperRegistry) -> None:
+    """Install the vx32 guest helpers into *registry* (idempotent)."""
+    if CALC_FLAGS in registry:
+        return
+    registry.register_pure(CALC_FLAGS, _calc_flags)
+    registry.register_pure(CALC_COND, _calc_condition)
+    registry.register_dirty(MACHID, _machid)
+    registry.register_dirty(CYCLES, _cycles)

@@ -1,0 +1,138 @@
+"""Partial evaluation of the vx32 condition-code helper calls.
+
+Section 3.7 (Phase 2): "It is also possible to pass in callback functions
+that can partially evaluate certain platform-specific C helper calls.  On
+x86 and AMD64 this is used to optimise the %eflags handling."
+
+This module is that callback for vx32.  After constant propagation, a
+conditional branch compiled from ``cmp; jcc`` looks like::
+
+    t = vx32g_calculate_condition(<cond>, <CC_OP_SUB>, dep1, dep2, ndep)
+
+with the first two arguments constant — so the call can be rewritten into
+one or two inline comparison operations, removing both the call overhead
+and the opaque-to-tools helper.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..guest import regs as R
+from ..ir.expr import Binop, Const, Expr, Unop, c32
+from ..ir.types import Ty
+from . import helpers as H
+
+
+def _bool32(e: Expr) -> Expr:
+    """Widen an I1 expression to the helper's I32 0/1 result type."""
+    return Unop("1Uto32", e)
+
+
+def _flag_test(dep1: Expr, mask: int, invert: bool) -> Expr:
+    cmp = "CmpEQ32" if invert else "CmpNE32"
+    return _bool32(Binop(cmp, Binop("And32", dep1, c32(mask)), c32(0)))
+
+
+def _spec_condition(args: Sequence[Expr]) -> Optional[Expr]:
+    cond_e, op_e, dep1, dep2, _ndep = args
+    if not isinstance(cond_e, Const) or not isinstance(op_e, Const):
+        return None
+    cond = cond_e.value
+    cc_op = op_e.value
+    inv = bool(cond & 1)
+    base = cond & ~1
+
+    def pick(pos: Expr, neg: Expr) -> Expr:
+        return neg if inv else pos
+
+    if cc_op == R.CC_OP_SUB:
+        table = {
+            R.COND_Z: ("CmpEQ32", "CmpNE32", dep1, dep2),
+            R.COND_B: ("CmpLT32U", None, dep1, dep2),
+            R.COND_BE: ("CmpLE32U", None, dep1, dep2),
+            R.COND_L: ("CmpLT32S", None, dep1, dep2),
+            R.COND_LE: ("CmpLE32S", None, dep1, dep2),
+        }
+        if base in table:
+            pos_op, neg_op, a, b = table[base]
+            if not inv:
+                return _bool32(Binop(pos_op, a, b))
+            if neg_op is not None:
+                return _bool32(Binop(neg_op, a, b))
+            # !(a < b)  ==  b <= a ; !(a <= b)  ==  b < a
+            flipped = {"CmpLT32U": "CmpLE32U", "CmpLE32U": "CmpLT32U",
+                       "CmpLT32S": "CmpLE32S", "CmpLE32S": "CmpLT32S"}[pos_op]
+            return _bool32(Binop(flipped, b, a))
+        if base == R.COND_S:
+            res = Binop("Sub32", dep1, dep2)
+            cmp = "CmpLE32S" if inv else "CmpLT32S"
+            # S set  <=>  res < 0 signed;  !S  <=>  res >= 0  <=>  0 <= res.
+            if inv:
+                return _bool32(Binop("CmpLE32S", Const(Ty.I32, 0), res))
+            return _bool32(Binop("CmpLT32S", res, Const(Ty.I32, 0)))
+        return None  # O/NO: leave to the helper
+
+    if cc_op == R.CC_OP_LOGIC:
+        zero = Const(Ty.I32, 0)
+        if base == R.COND_Z:
+            return _bool32(Binop("CmpNE32" if inv else "CmpEQ32", dep1, zero))
+        if base == R.COND_S:
+            if inv:
+                return _bool32(Binop("CmpLE32S", zero, dep1))
+            return _bool32(Binop("CmpLT32S", dep1, zero))
+        if base == R.COND_B or base == R.COND_O:  # C and O are always clear
+            return c32(1 if inv else 0)
+        if base == R.COND_BE:  # C|Z == Z
+            return _bool32(Binop("CmpNE32" if inv else "CmpEQ32", dep1, zero))
+        if base == R.COND_L:  # S != O == S
+            if inv:
+                return _bool32(Binop("CmpLE32S", zero, dep1))
+            return _bool32(Binop("CmpLT32S", dep1, zero))
+        if base == R.COND_LE:  # Z | S  ==  dep1 <= 0 signed
+            if inv:
+                return _bool32(Binop("CmpLT32S", zero, dep1))
+            return _bool32(Binop("CmpLE32S", dep1, zero))
+        return None
+
+    if cc_op == R.CC_OP_ADD:
+        res = Binop("Add32", dep1, dep2)
+        if base == R.COND_Z:
+            return _bool32(Binop("CmpNE32" if inv else "CmpEQ32", res, c32(0)))
+        if base == R.COND_B:  # carry out  <=>  res < dep1 (unsigned)
+            if inv:
+                return _bool32(Binop("CmpLE32U", dep1, res))
+            return _bool32(Binop("CmpLT32U", res, dep1))
+        if base == R.COND_S:
+            if inv:
+                return _bool32(Binop("CmpLE32S", Const(Ty.I32, 0), res))
+            return _bool32(Binop("CmpLT32S", res, Const(Ty.I32, 0)))
+        return None
+
+    if cc_op == R.CC_OP_COPY:
+        masks = {
+            R.COND_Z: R.FLAG_Z,
+            R.COND_B: R.FLAG_C,
+            R.COND_S: R.FLAG_S,
+            R.COND_O: R.FLAG_O,
+        }
+        if base in masks:
+            return _flag_test(dep1, masks[base], inv)
+        if base == R.COND_BE:  # C | Z
+            return _flag_test(dep1, R.FLAG_C | R.FLAG_Z, inv)
+        return None
+
+    return None
+
+
+def vx32_spec_helper(callee: str, args: Sequence[Expr]) -> Optional[Expr]:
+    """The opt1 spec callback: rewrite a CCall into inline IR, or None."""
+    if callee == H.CALC_COND:
+        return _spec_condition(args)
+    if callee == H.CALC_FLAGS:
+        # With a constant CC_OP == COPY the flags are just dep1's low bits.
+        op_e = args[0]
+        if isinstance(op_e, Const) and op_e.value == R.CC_OP_COPY:
+            return Binop("And32", args[1], c32(R.FLAG_C | R.FLAG_Z | R.FLAG_S | R.FLAG_O))
+        return None
+    return None

@@ -1,0 +1,39 @@
+"""The vx32 synthetic guest architecture.
+
+This package defines everything about the *guest* machine the framework
+instruments: its register model and ThreadState layout (:mod:`regs`), its
+instruction set (:mod:`isa`), the byte encoding (:mod:`encoding`), a
+two-pass assembler (:mod:`asm`), the executable image format
+(:mod:`program`), and a fast reference CPU used both as the "native
+execution" baseline and as the testing oracle (:mod:`refcpu`).
+"""
+
+from .asm import AsmError, Assembler, assemble
+from .encoding import DecodeError, decode, encode, insn_length
+from .isa import Cond, FReg, Imm, Insn, InsnDef, Mem, OpKind, Reg, VReg, insn_def
+from .program import LineInfo, Segment, VxImage
+from . import regs
+
+__all__ = [
+    "AsmError",
+    "Assembler",
+    "assemble",
+    "DecodeError",
+    "decode",
+    "encode",
+    "insn_length",
+    "Cond",
+    "FReg",
+    "Imm",
+    "Insn",
+    "InsnDef",
+    "Mem",
+    "OpKind",
+    "Reg",
+    "VReg",
+    "insn_def",
+    "LineInfo",
+    "Segment",
+    "VxImage",
+    "regs",
+]

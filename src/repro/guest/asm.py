@@ -1,0 +1,519 @@
+"""A two-pass assembler for vx32.
+
+The assembler turns assembly text into a :class:`~repro.guest.program.VxImage`.
+Syntax, by example::
+
+            .text
+            .global _start
+    _start: movi  r0, 10          ; comments with ';' or '//'
+            push  r0
+            call  fib
+            addi  sp, 4
+            halt
+    fib:    cmp   r0, r1
+            jle   done            ; j<cond> — synonyms like jne/jlt/jz work
+            ld    r2, [r3+r1*4+8] ; base + index*scale + disp
+            add   r2, [sp+4]      ; generic mnemonics pick encodings by shape
+            jmp   fib
+    done:   ret
+            .data
+    msg:    .ascii "hello\\n"
+    table:  .word 1, 2, 3, msg    ; words may reference symbols
+    buf:    .space 64
+            .align 8
+
+Generic ALU mnemonics (``add``, ``sub``, ``and``, ``or``, ``xor``, ``cmp``,
+``test``, ``mul``, ``mov``, ``shl``, ``shr``, ``sar``, ``rol``, ``ror``)
+select the reg/imm/mem encoding from their operand shapes, so assembly reads
+like x86 even though each form has its own opcode.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from .encoding import encode, insn_length
+from .isa import Cond, FReg, Imm, Insn, Mem, OpKind, Reg, VReg, insn_def
+from .program import LineInfo, Segment, VxImage
+from .regs import COND_BY_NAME, GPR_ALIASES
+
+
+class AsmError(Exception):
+    """An assembly-time error, carrying file/line context."""
+
+    def __init__(self, message: str, filename: str = "<asm>", line: int = 0):
+        super().__init__(f"{filename}:{line}: {message}")
+        self.filename = filename
+        self.line = line
+
+
+DEFAULT_TEXT_BASE = 0x0001_0000
+_PAGE = 0x1000
+
+# Generic mnemonic -> (rr-form, ri-form, rm-form, mr-form) encodings.
+_GENERIC_ALU = {
+    "add": ("add", "addi", "addm_", "addm"),
+    "sub": ("sub", "subi", "subm_", "subm"),
+    "and": ("and", "andi", "andm_", None),
+    "or": ("or", "ori", "orm_", None),
+    "xor": ("xor", "xori", "xorm_", None),
+    "cmp": ("cmp", "cmpi", "cmpm_", None),
+    "test": ("test", "testi", None, None),
+    "mul": ("mul", "muli", None, None),
+}
+_GENERIC_SHIFT = {"shl": ("shl", "shli"), "shr": ("shr", "shri"),
+                  "sar": ("sar", "sari"), "rol": (None, "roli"),
+                  "ror": (None, "rori")}
+
+_FREG_RE = re.compile(r"^f([0-7])$")
+_VREG_RE = re.compile(r"^v([0-7])$")
+_IDENT_RE = re.compile(r"^[A-Za-z_.$][A-Za-z0-9_.$]*$")
+
+
+@dataclass
+class _Item:
+    """One assembled item: an instruction or raw data, at a section offset."""
+
+    section: str
+    offset: int
+    length: int
+    line: int
+    insn: Optional[Insn] = None
+    data: Optional[bytes] = None
+    #: Unresolved symbol fixups: (operand index, kind) for insns, or a list
+    #: of (byte offset, symbol, addend) word fixups for data.
+    fixups: List = field(default_factory=list)
+
+
+class Assembler:
+    """Two-pass assembler producing a VxImage."""
+
+    def __init__(self, text_base: int = DEFAULT_TEXT_BASE, filename: str = "<asm>"):
+        self.text_base = text_base
+        self.filename = filename
+        self._sections: Dict[str, int] = {"text": 0, "data": 0}  # sizes
+        self._items: List[_Item] = []
+        self._labels: Dict[str, Tuple[str, int]] = {}  # name -> (section, offset)
+        self._equs: Dict[str, int] = {}
+        self._globals: List[str] = []
+        self._cur = "text"
+        self._line = 0
+
+    # -- public API ----------------------------------------------------------
+
+    def assemble(self, source: str) -> VxImage:
+        """Assemble *source* and return the finished image."""
+        for lineno, raw in enumerate(source.splitlines(), start=1):
+            self._line = lineno
+            self._do_line(raw)
+        return self._finish()
+
+    # -- pass 1: parse and size ----------------------------------------------
+
+    def _err(self, msg: str) -> AsmError:
+        return AsmError(msg, self.filename, self._line)
+
+    def _do_line(self, raw: str) -> None:
+        line = raw.split(";")[0].split("//")[0].strip()
+        while line:
+            m = re.match(r"^([A-Za-z_.$][A-Za-z0-9_.$]*):\s*", line)
+            if not m:
+                break
+            self._define_label(m.group(1))
+            line = line[m.end():]
+        if not line:
+            return
+        parts = line.split(None, 1)
+        mnemonic = parts[0].lower()
+        rest = parts[1] if len(parts) > 1 else ""
+        if mnemonic.startswith("."):
+            self._directive(mnemonic, rest)
+        else:
+            self._instruction(mnemonic, rest)
+
+    def _define_label(self, name: str) -> None:
+        if name in self._labels or name in self._equs:
+            raise self._err(f"label {name!r} redefined")
+        self._labels[name] = (self._cur, self._sections[self._cur])
+
+    def _emit_data(self, data: bytes, fixups: Optional[List] = None) -> None:
+        item = _Item(
+            self._cur,
+            self._sections[self._cur],
+            len(data),
+            self._line,
+            data=data,
+            fixups=fixups or [],
+        )
+        self._items.append(item)
+        self._sections[self._cur] += len(data)
+
+    def _directive(self, name: str, rest: str) -> None:
+        if name in (".text", ".data"):
+            self._cur = name[1:]
+        elif name == ".global" or name == ".globl":
+            self._globals.append(rest.strip())
+        elif name == ".equ":
+            sym, _, val = rest.partition(",")
+            sym = sym.strip()
+            if not _IDENT_RE.match(sym):
+                raise self._err(f"bad .equ name {sym!r}")
+            self._equs[sym] = self._parse_int(val.strip())
+        elif name == ".byte":
+            vals = [self._parse_int(v.strip()) for v in rest.split(",")]
+            self._emit_data(bytes(v & 0xFF for v in vals))
+        elif name == ".word":
+            data = bytearray()
+            fixups: List = []
+            for i, tok in enumerate(v.strip() for v in rest.split(",")):
+                sym, addend = self._sym_plus_offset(tok)
+                if sym is not None:
+                    fixups.append((i * 4, sym, addend))
+                    data += b"\0\0\0\0"
+                else:
+                    data += (addend & 0xFFFFFFFF).to_bytes(4, "little")
+            self._emit_data(bytes(data), fixups)
+        elif name == ".ascii" or name == ".asciz":
+            s = self._parse_string(rest.strip())
+            if name == ".asciz":
+                s += b"\0"
+            self._emit_data(s)
+        elif name == ".space" or name == ".zero":
+            n = self._parse_int(rest.strip())
+            self._emit_data(b"\0" * n)
+        elif name == ".align":
+            n = self._parse_int(rest.strip())
+            if n & (n - 1):
+                raise self._err(f".align {n}: not a power of two")
+            off = self._sections[self._cur]
+            pad = (-off) % n
+            if pad:
+                self._emit_data(b"\0" * pad)
+        elif name == ".double":
+            import struct
+
+            vals = [float(v.strip()) for v in rest.split(",")]
+            self._emit_data(b"".join(struct.pack("<d", v) for v in vals))
+        else:
+            raise self._err(f"unknown directive {name}")
+
+    # -- instruction parsing ---------------------------------------------------
+
+    def _instruction(self, mnemonic: str, rest: str) -> None:
+        ops = self._split_operands(rest)
+        mnemonic, parsed = self._resolve_forms(mnemonic, ops)
+        try:
+            d = insn_def(mnemonic)
+        except KeyError:
+            raise self._err(f"unknown instruction {mnemonic!r}") from None
+        if len(parsed) != len(d.operands):
+            raise self._err(
+                f"{mnemonic}: expected {len(d.operands)} operands, got {len(parsed)}"
+            )
+        operands: List = []
+        fixups: List = []
+        for i, (kind, op) in enumerate(zip(d.operands, parsed)):
+            val, fix = self._coerce(kind, op, mnemonic)
+            operands.append(val)
+            if fix is not None:
+                fixups.append((i, fix))
+        insn = Insn(mnemonic, tuple(operands))
+        length = insn_length(mnemonic, insn.operands)
+        item = _Item(
+            self._cur,
+            self._sections[self._cur],
+            length,
+            self._line,
+            insn=insn,
+            fixups=fixups,
+        )
+        if self._cur != "text":
+            raise self._err("instructions outside .text")
+        self._items.append(item)
+        self._sections[self._cur] += length
+
+    def _split_operands(self, rest: str) -> List[str]:
+        rest = rest.strip()
+        if not rest:
+            return []
+        out: List[str] = []
+        depth = 0
+        cur = ""
+        for ch in rest:
+            if ch == "[":
+                depth += 1
+            elif ch == "]":
+                depth -= 1
+            if ch == "," and depth == 0:
+                out.append(cur.strip())
+                cur = ""
+            else:
+                cur += ch
+        out.append(cur.strip())
+        return out
+
+    def _resolve_forms(self, mnemonic: str, ops: List[str]):
+        """Map generic mnemonics to concrete encodings based on shapes."""
+        parsed = [self._parse_operand(o) for o in ops]
+
+        def shape(p) -> str:
+            if isinstance(p, Reg):
+                return "r"
+            if isinstance(p, Mem):
+                return "m"
+            return "i"
+
+        if mnemonic in _GENERIC_ALU and len(parsed) == 2:
+            rr, ri, rm, mr = _GENERIC_ALU[mnemonic]
+            shapes = shape(parsed[0]) + shape(parsed[1])
+            pick = {"rr": rr, "ri": ri, "rm": rm, "mr": mr}.get(shapes)
+            if pick is None:
+                raise self._err(f"{mnemonic}: unsupported operand shapes {shapes}")
+            return pick, parsed
+        if mnemonic in _GENERIC_SHIFT and len(parsed) == 2:
+            rform, iform = _GENERIC_SHIFT[mnemonic]
+            pick = rform if isinstance(parsed[1], Reg) else iform
+            if pick is None:
+                raise self._err(f"{mnemonic}: unsupported operand shape")
+            return pick, parsed
+        if mnemonic == "mov" and len(parsed) == 2:
+            if isinstance(parsed[0], Reg) and isinstance(parsed[1], Reg):
+                return "mov", parsed
+            if isinstance(parsed[0], Reg):
+                return "movi", parsed
+            raise self._err("mov: use ld/st for memory")
+        if mnemonic == "push" and len(parsed) == 1 and not isinstance(parsed[0], Reg):
+            return "pushi", parsed
+        if mnemonic == "call" and len(parsed) == 1 and isinstance(parsed[0], Reg):
+            return "callr", parsed
+        if mnemonic == "jmp" and len(parsed) == 1 and isinstance(parsed[0], Reg):
+            return "jmpr", parsed
+        # j<cond> and set<cond> synonyms.
+        if mnemonic.startswith("j") and mnemonic[1:] in COND_BY_NAME:
+            return "jcc", [Cond(COND_BY_NAME[mnemonic[1:]])] + parsed
+        if mnemonic.startswith("set") and mnemonic[3:] in COND_BY_NAME:
+            return "setcc", parsed + [Cond(COND_BY_NAME[mnemonic[3:]])]
+        return mnemonic, parsed
+
+    def _parse_operand(self, text: str):
+        text = text.strip()
+        low = text.lower()
+        if low in GPR_ALIASES:
+            return Reg(GPR_ALIASES[low])
+        m = _FREG_RE.match(low)
+        if m:
+            return FReg(int(m.group(1)))
+        m = _VREG_RE.match(low)
+        if m:
+            return VReg(int(m.group(1)))
+        if text.startswith("["):
+            if not text.endswith("]"):
+                raise self._err(f"unterminated memory operand {text!r}")
+            return self._parse_mem(text[1:-1])
+        return text  # symbol or immediate, resolved during coercion
+
+    def _parse_mem(self, inner: str) -> Union[Mem, Tuple[Mem, str, int]]:
+        base = index = None
+        scale = 1
+        disp = 0
+        sym: Optional[str] = None
+        for raw_term in self._split_terms(inner):
+            neg = raw_term.startswith("-")
+            term = raw_term[1:] if neg else raw_term
+            term = term.strip()
+            low = term.lower()
+            if "*" in term:
+                rpart, _, spart = term.partition("*")
+                rlow = rpart.strip().lower()
+                if rlow not in GPR_ALIASES or neg:
+                    raise self._err(f"bad index term {raw_term!r}")
+                if index is not None:
+                    raise self._err("two index registers")
+                index = GPR_ALIASES[rlow]
+                scale = self._parse_int(spart.strip())
+            elif low in GPR_ALIASES and not neg:
+                if base is None:
+                    base = GPR_ALIASES[low]
+                elif index is None:
+                    index = GPR_ALIASES[low]
+                else:
+                    raise self._err("too many registers in memory operand")
+            else:
+                s, a = self._sym_plus_offset(term)
+                if s is not None:
+                    if sym is not None:
+                        raise self._err("two symbols in memory operand")
+                    if neg:
+                        raise self._err("cannot negate a symbol")
+                    sym = s
+                    disp += a
+                else:
+                    disp += -a if neg else a
+        mem = Mem(base, index, scale, disp & 0xFFFFFFFF)
+        if sym is not None:
+            return (mem, sym, disp)
+        return mem
+
+    @staticmethod
+    def _split_terms(inner: str) -> List[str]:
+        out = []
+        cur = ""
+        for ch in inner:
+            if ch == "+" and cur.strip():
+                out.append(cur.strip())
+                cur = ""
+            elif ch == "-" and cur.strip():
+                out.append(cur.strip())
+                cur = "-"
+            else:
+                cur += ch
+        if cur.strip():
+            out.append(cur.strip())
+        return out
+
+    def _coerce(self, kind: OpKind, op, mnemonic: str):
+        """Convert a parsed operand to its final type; return (value, fixup)."""
+        if kind is OpKind.GPR:
+            if not isinstance(op, Reg):
+                raise self._err(f"{mnemonic}: expected integer register, got {op!r}")
+            return op, None
+        if kind is OpKind.FREG:
+            if not isinstance(op, FReg):
+                raise self._err(f"{mnemonic}: expected FP register, got {op!r}")
+            return op, None
+        if kind is OpKind.VREG:
+            if not isinstance(op, VReg):
+                raise self._err(f"{mnemonic}: expected SIMD register, got {op!r}")
+            return op, None
+        if kind is OpKind.COND:
+            if not isinstance(op, Cond):
+                raise self._err(f"{mnemonic}: expected condition, got {op!r}")
+            return op, None
+        if kind in (OpKind.IMM8, OpKind.IMM32, OpKind.REL32):
+            if not isinstance(op, str):
+                raise self._err(f"{mnemonic}: expected immediate, got {op!r}")
+            sym, addend = self._sym_plus_offset(op)
+            if sym is not None:
+                return Imm(0), ("sym", sym, addend)
+            return Imm(addend), None
+        if kind is OpKind.MEM:
+            if isinstance(op, tuple):  # (Mem, sym, disp-with-addend)
+                mem, sym, _ = op
+                return mem, ("memsym", sym, mem.disp)
+            if not isinstance(op, Mem):
+                raise self._err(f"{mnemonic}: expected memory operand, got {op!r}")
+            return op, None
+        raise AssertionError(kind)  # pragma: no cover
+
+    # -- literals --------------------------------------------------------------
+
+    def _parse_int(self, text: str) -> int:
+        try:
+            return int(text, 0)
+        except ValueError:
+            if text in self._equs:
+                return self._equs[text]
+            if len(text) == 3 and text[0] == "'" and text[2] == "'":
+                return ord(text[1])
+            raise self._err(f"bad integer literal {text!r}") from None
+
+    def _sym_plus_offset(self, text: str) -> Tuple[Optional[str], int]:
+        """Parse ``sym``, ``sym+4``, ``42``; return (symbol-or-None, value)."""
+        text = text.strip()
+        m = re.match(r"^([A-Za-z_.$][A-Za-z0-9_.$]*)\s*([+-]\s*\d+)?$", text)
+        if m and m.group(1) not in GPR_ALIASES:
+            name = m.group(1)
+            addend = int(m.group(2).replace(" ", "")) if m.group(2) else 0
+            if name in self._equs:
+                return None, self._equs[name] + addend
+            return name, addend
+        return None, self._parse_int(text)
+
+    def _parse_string(self, text: str) -> bytes:
+        if len(text) < 2 or text[0] != '"' or text[-1] != '"':
+            raise self._err(f"bad string literal {text}")
+        body = text[1:-1]
+        out = bytearray()
+        i = 0
+        while i < len(body):
+            ch = body[i]
+            if ch == "\\" and i + 1 < len(body):
+                esc = body[i + 1]
+                out += {
+                    "n": b"\n", "t": b"\t", "0": b"\0", "\\": b"\\", '"': b'"',
+                    "r": b"\r",
+                }.get(esc, esc.encode())
+                i += 2
+            else:
+                out += ch.encode()
+                i += 1
+        return bytes(out)
+
+    # -- pass 2: fix up and emit -------------------------------------------------
+
+    def _finish(self) -> VxImage:
+        text_size = self._sections["text"]
+        data_base = self.text_base + text_size
+        data_base = (data_base + _PAGE - 1) & ~(_PAGE - 1)
+        bases = {"text": self.text_base, "data": data_base}
+
+        def sym_value(name: str, line: int) -> int:
+            if name in self._labels:
+                sec, off = self._labels[name]
+                return bases[sec] + off
+            if name in self._equs:
+                return self._equs[name]
+            raise AsmError(f"undefined symbol {name!r}", self.filename, line)
+
+        text = bytearray()
+        data = bytearray()
+        lines: List[LineInfo] = []
+        for item in self._items:
+            addr = bases[item.section] + item.offset
+            if item.insn is not None:
+                insn = item.insn
+                insn.addr = addr
+                ops = list(insn.operands)
+                for i, fix in item.fixups:
+                    tag, sym, addend = fix
+                    val = sym_value(sym, item.line) + addend
+                    if tag == "sym":
+                        ops[i] = Imm(val & 0xFFFFFFFF)
+                    else:  # memsym: symbol folds into the displacement
+                        mem = ops[i]
+                        ops[i] = Mem(mem.base, mem.index, mem.scale,
+                                     (mem.disp + sym_value(sym, item.line)) & 0xFFFFFFFF)
+                insn.operands = tuple(ops)
+                raw = encode(insn)
+                assert len(raw) == item.length, (insn, len(raw), item.length)
+                text += raw
+                lines.append(LineInfo(addr, self.filename, item.line))
+            else:
+                blob = bytearray(item.data or b"")
+                for off, sym, addend in item.fixups:
+                    val = (sym_value(sym, item.line) + addend) & 0xFFFFFFFF
+                    blob[off : off + 4] = val.to_bytes(4, "little")
+                if item.section == "text":
+                    text += blob
+                else:
+                    data += blob
+
+        image = VxImage(name=self.filename)
+        if text:
+            image.add_segment(Segment("text", bases["text"], bytes(text), "rx"))
+        if data:
+            image.add_segment(Segment("data", bases["data"], bytes(data), "rw"))
+        for name, (sec, off) in self._labels.items():
+            image.symbols[name] = bases[sec] + off
+        image.lines = lines
+        entry = image.symbols.get("_start", bases["text"])
+        image.entry = entry
+        return image
+
+
+def assemble(source: str, *, text_base: int = DEFAULT_TEXT_BASE,
+             filename: str = "<asm>") -> VxImage:
+    """Assemble vx32 assembly text into an executable image."""
+    return Assembler(text_base=text_base, filename=filename).assemble(source)

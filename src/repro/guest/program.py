@@ -1,0 +1,95 @@
+"""The vx32 executable image format (``VxImage``).
+
+A VxImage is the loader's input: named segments with permissions, a symbol
+table, optional per-address source line info (the "debug information" the
+core's error-reporting machinery reads), and an entry point.  It plays the
+role ELF executables play for real Valgrind.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass
+class Segment:
+    """A contiguous run of initialised guest memory."""
+
+    name: str
+    addr: int
+    data: bytes
+    perms: str  # subset of "rwx"
+
+    @property
+    def end(self) -> int:
+        return self.addr + len(self.data)
+
+    def __repr__(self) -> str:
+        return f"<Segment {self.name} {self.addr:#x}..{self.end:#x} {self.perms}>"
+
+
+@dataclass
+class LineInfo:
+    """Maps a guest address to a source file and line."""
+
+    addr: int
+    filename: str
+    line: int
+
+
+@dataclass
+class VxImage:
+    """A loadable vx32 executable (or script — see ``interpreter``)."""
+
+    segments: List[Segment] = field(default_factory=list)
+    symbols: Dict[str, int] = field(default_factory=dict)
+    entry: int = 0
+    #: Per-instruction source locations, sorted by address.
+    lines: List[LineInfo] = field(default_factory=list)
+    #: Name of the image, for error messages.
+    name: str = "a.out"
+    #: If set, this "executable" is a script: the loader should instead load
+    #: the named interpreter image and pass this image's name to it.
+    interpreter: Optional[str] = None
+
+    def add_segment(self, seg: Segment) -> None:
+        for other in self.segments:
+            if seg.addr < other.end and other.addr < seg.end:
+                raise ValueError(f"segment overlap: {seg!r} vs {other!r}")
+        self.segments.append(seg)
+        self.segments.sort(key=lambda s: s.addr)
+
+    def symbol(self, name: str) -> int:
+        try:
+            return self.symbols[name]
+        except KeyError:
+            raise KeyError(f"symbol {name!r} not defined in {self.name}") from None
+
+    def symbol_at(self, addr: int) -> Optional[Tuple[str, int]]:
+        """Find the (name, offset) of the symbol containing *addr*, if any."""
+        best: Optional[Tuple[str, int]] = None
+        for name, saddr in self.symbols.items():
+            if saddr <= addr and (best is None or saddr > best[1]):
+                best = (name, saddr)
+        if best is None:
+            return None
+        return best[0], addr - best[1]
+
+    def line_at(self, addr: int) -> Optional[LineInfo]:
+        """Find the source line info for *addr*, if recorded."""
+        if not self.lines:
+            return None
+        addrs = [li.addr for li in self.lines]
+        i = bisect.bisect_right(addrs, addr) - 1
+        if i < 0:
+            return None
+        return self.lines[i]
+
+    @property
+    def text_segment(self) -> Segment:
+        for seg in self.segments:
+            if "x" in seg.perms:
+                return seg
+        raise ValueError(f"{self.name} has no executable segment")

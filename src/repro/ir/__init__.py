@@ -1,0 +1,97 @@
+"""The architecture-neutral, SSA-style intermediate representation.
+
+This is the centrepiece of the D&R (disassemble-and-resynthesise) design:
+guest machine code is lifted into this IR, tools instrument the IR, and the
+JIT back-end resynthesises host code from it.  See the package modules:
+
+* :mod:`repro.ir.types` — value types (I1..I64, F32/F64, V128)
+* :mod:`repro.ir.ops` — the >200 primitive operations, with semantics
+* :mod:`repro.ir.expr` / :mod:`repro.ir.stmt` — expression/statement nodes
+* :mod:`repro.ir.block` — superblocks (IRSBs)
+* :mod:`repro.ir.pretty` — the Figure-1/2-style pretty printer
+* :mod:`repro.ir.validate` — type/SSA/flatness checking
+* :mod:`repro.ir.interp` — executable semantics (the testing oracle)
+* :mod:`repro.ir.helpers` — clean/dirty helper registry
+"""
+
+from .block import IRSB, IRTypeError
+from .expr import (
+    Binop,
+    CCall,
+    Const,
+    Expr,
+    Get,
+    ITE,
+    Load,
+    RdTmp,
+    Unop,
+    c1,
+    c8,
+    c32,
+    c64,
+    const,
+)
+from .helpers import Helper, HelperRegistry
+from .interp import ByteState, IRInterpreter
+from .ops import OPS, IROp, get_op
+from .pretty import fmt_expr, fmt_irsb, fmt_stmt
+from .stmt import (
+    Dirty,
+    Exit,
+    IMark,
+    JumpKind,
+    MemFx,
+    NoOp,
+    Put,
+    StateFx,
+    Stmt,
+    Store,
+    WrTmp,
+)
+from .types import Ty
+from .validate import IRFlatnessError, check_flat, typecheck, validate
+
+__all__ = [
+    "IRSB",
+    "IRTypeError",
+    "IRFlatnessError",
+    "Binop",
+    "CCall",
+    "Const",
+    "Expr",
+    "Get",
+    "ITE",
+    "Load",
+    "RdTmp",
+    "Unop",
+    "c1",
+    "c8",
+    "c32",
+    "c64",
+    "const",
+    "Helper",
+    "HelperRegistry",
+    "ByteState",
+    "IRInterpreter",
+    "OPS",
+    "IROp",
+    "get_op",
+    "fmt_expr",
+    "fmt_irsb",
+    "fmt_stmt",
+    "Dirty",
+    "Exit",
+    "IMark",
+    "JumpKind",
+    "MemFx",
+    "NoOp",
+    "Put",
+    "StateFx",
+    "Stmt",
+    "Store",
+    "WrTmp",
+    "Ty",
+    "check_flat",
+    "typecheck",
+    "validate",
+]

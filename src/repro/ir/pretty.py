@@ -1,0 +1,95 @@
+"""Pretty printer for the IR, in the style of the paper's Figures 1 and 2.
+
+Example output::
+
+    1:  ------ IMark(0x24F275, 7) ------
+    2:  t0 = Add32(Add32(GET:I32(12),Shl32(GET:I32(0),0x2:I8)),0xFFFFC0CC:I32)
+    3:  PUT(0) = LDle:I32(t0)
+    ...
+    goto {Boring} t4
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .block import IRSB
+from .expr import Binop, CCall, Const, Expr, Get, ITE, Load, RdTmp, Unop
+from .stmt import Dirty, Exit, IMark, NoOp, Put, Stmt, Store, WrTmp
+from .types import Ty
+
+
+def fmt_const(c: Const) -> str:
+    if c.ty.is_float:
+        return f"{c.value!r}:{c.ty.value}"
+    if c.ty is Ty.I1:
+        return f"{c.value}:I1"
+    return f"0x{c.value:X}:{c.ty.value}"
+
+
+def fmt_expr(e: Expr) -> str:
+    """Render an expression (tree or flat) as a single line."""
+    if isinstance(e, Const):
+        return fmt_const(e)
+    if isinstance(e, RdTmp):
+        return f"t{e.tmp}"
+    if isinstance(e, Get):
+        return f"GET:{e.ty.value}({e.offset})"
+    if isinstance(e, Load):
+        return f"LDle:{e.ty.value}({fmt_expr(e.addr)})"
+    if isinstance(e, Unop):
+        return f"{e.op}({fmt_expr(e.arg)})"
+    if isinstance(e, Binop):
+        return f"{e.op}({fmt_expr(e.arg1)},{fmt_expr(e.arg2)})"
+    if isinstance(e, ITE):
+        return f"ITE({fmt_expr(e.cond)},{fmt_expr(e.iftrue)},{fmt_expr(e.iffalse)})"
+    if isinstance(e, CCall):
+        args = ",".join(fmt_expr(a) for a in e.args)
+        return f"{e.callee}:{e.ty.value}({args})"
+    return repr(e)
+
+
+def fmt_stmt(s: Stmt) -> str:
+    """Render a statement as a single line."""
+    if isinstance(s, NoOp):
+        return "IR-NoOp"
+    if isinstance(s, IMark):
+        return f"------ IMark(0x{s.addr:X}, {s.length}) ------"
+    if isinstance(s, Put):
+        return f"PUT({s.offset}) = {fmt_expr(s.data)}"
+    if isinstance(s, WrTmp):
+        return f"t{s.tmp} = {fmt_expr(s.data)}"
+    if isinstance(s, Store):
+        return f"STle({fmt_expr(s.addr)}) = {fmt_expr(s.data)}"
+    if isinstance(s, Exit):
+        return f"if ({fmt_expr(s.guard)}) goto {{{s.jumpkind.value}}} 0x{s.dst:X}"
+    if isinstance(s, Dirty):
+        parts: List[str] = ["DIRTY"]
+        parts.append(fmt_expr(s.guard) if s.guard is not None else "1:I1")
+        for fx in s.state_fx:
+            kind = "WrFX" if fx.write else "RdFX"
+            parts.append(f"{kind}-gst({fx.offset},{fx.size})")
+        for fx in s.mem_fx:
+            kind = "WrFX" if fx.write else "RdFX"
+            parts.append(f"{kind}-mem({fmt_expr(fx.addr)},{fx.size})")
+        args = ",".join(fmt_expr(a) for a in s.args)
+        call = f"{s.callee}({args})"
+        if s.tmp is not None:
+            return f"t{s.tmp} = " + " ".join(parts) + f" ::: {call}"
+        return " ".join(parts) + f" ::: {call}"
+    return repr(s)
+
+
+def fmt_irsb(sb: IRSB, *, number: bool = True, skip_noops: bool = True) -> str:
+    """Render a whole superblock, numbered like the paper's figures."""
+    lines: List[str] = []
+    n = 0
+    for s in sb.stmts:
+        if skip_noops and isinstance(s, NoOp):
+            continue
+        n += 1
+        prefix = f"{n:>3}:  " if number else "  "
+        lines.append(prefix + fmt_stmt(s))
+    nxt = fmt_expr(sb.next) if sb.next is not None else "<none>"
+    lines.append(f"     goto {{{sb.jumpkind.value}}} {nxt}")
+    return "\n".join(lines)

@@ -1,0 +1,94 @@
+"""IR value types.
+
+The IR is typed: every temporary, expression and operation has a type drawn
+from a small fixed set, mirroring Valgrind's ``IRType``.  Integer values are
+represented as non-negative Python ints masked to their width, floats as
+Python floats, and V128 values as 128-bit non-negative Python ints.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Ty(enum.Enum):
+    """An IR value type."""
+
+    I1 = "I1"
+    I8 = "I8"
+    I16 = "I16"
+    I32 = "I32"
+    I64 = "I64"
+    F32 = "F32"
+    F64 = "F64"
+    V128 = "V128"
+
+    def __repr__(self) -> str:
+        return f"Ty.{self.name}"
+
+    @property
+    def bits(self) -> int:
+        """Width of the type in bits."""
+        return _BITS[self]
+
+    @property
+    def size(self) -> int:
+        """Size of the type in bytes (I1 occupies one byte when stored)."""
+        return max(1, self.bits // 8)
+
+    @property
+    def is_int(self) -> bool:
+        return self in _INT_TYPES
+
+    @property
+    def is_float(self) -> bool:
+        return self in (Ty.F32, Ty.F64)
+
+    @property
+    def mask(self) -> int:
+        """All-ones bitmask for integer/vector types."""
+        if self.is_float:
+            raise ValueError(f"{self} has no integer mask")
+        return (1 << self.bits) - 1
+
+
+_BITS = {
+    Ty.I1: 1,
+    Ty.I8: 8,
+    Ty.I16: 16,
+    Ty.I32: 32,
+    Ty.I64: 64,
+    Ty.F32: 32,
+    Ty.F64: 64,
+    Ty.V128: 128,
+}
+
+_INT_TYPES = frozenset({Ty.I1, Ty.I8, Ty.I16, Ty.I32, Ty.I64, Ty.V128})
+
+#: Integer types ordered by width, handy for tests and generators.
+INT_TYPES = (Ty.I1, Ty.I8, Ty.I16, Ty.I32, Ty.I64)
+
+#: All IR types.
+ALL_TYPES = tuple(Ty)
+
+
+def mask(bits: int, value: int) -> int:
+    """Truncate *value* to an unsigned *bits*-wide integer."""
+    return value & ((1 << bits) - 1)
+
+
+def sign_extend(bits: int, value: int) -> int:
+    """Interpret the low *bits* of *value* as a signed two's-complement int."""
+    value = mask(bits, value)
+    if value & (1 << (bits - 1)):
+        return value - (1 << bits)
+    return value
+
+
+def fits(ty: Ty, value: object) -> bool:
+    """Return True if *value* is a well-formed constant of type *ty*."""
+    if ty.is_float:
+        return isinstance(value, float)
+    if not isinstance(value, int) or isinstance(value, bool):
+        return False
+    return 0 <= value <= ty.mask

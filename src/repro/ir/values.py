@@ -1,0 +1,42 @@
+"""Conversions between typed IR values and their little-endian byte form.
+
+Used everywhere a typed value meets raw storage: the ThreadState, guest
+memory, and the host CPU's spill slots.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from .types import Ty, mask
+
+
+def to_bytes(ty: Ty, value: object) -> bytes:
+    """Encode *value* of type *ty* as little-endian bytes."""
+    if ty is Ty.F64:
+        return struct.pack("<d", value)
+    if ty is Ty.F32:
+        return struct.pack("<f", value)
+    if ty is Ty.I1:
+        return bytes([value & 1])
+    assert isinstance(value, int)
+    return mask(ty.bits, value).to_bytes(ty.size, "little")
+
+
+def from_bytes(ty: Ty, data: bytes) -> object:
+    """Decode little-endian bytes into a value of type *ty*."""
+    if len(data) != ty.size:
+        raise ValueError(f"{ty} needs {ty.size} bytes, got {len(data)}")
+    if ty is Ty.F64:
+        return struct.unpack("<d", data)[0]
+    if ty is Ty.F32:
+        return struct.unpack("<f", data)[0]
+    v = int.from_bytes(data, "little")
+    if ty is Ty.I1:
+        return v & 1
+    return v
+
+
+def zero(ty: Ty) -> object:
+    """The zero value of type *ty*."""
+    return 0.0 if ty.is_float else 0

@@ -1,0 +1,97 @@
+"""Guest signal frames and the sigreturn trampoline.
+
+Delivering a signal pushes a frame holding the interrupted context (all
+integer registers, the condition-code thunk and the PC) onto the guest
+stack, arranges for the handler to return into a tiny trampoline that
+performs the ``sigreturn`` syscall, and redirects execution to the
+handler.  ``sigreturn`` restores the saved context.
+
+Both execution engines — the native RefCPU runner and the Valgrind
+scheduler — share this code through a tiny register-access interface, so
+signal semantics cannot drift between them.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Protocol
+
+from ..guest.regs import SP
+from .kernel import SYS_SIGRETURN
+from .memory import GuestMemory, PAGE_SIZE, PROT_RX
+
+M32 = 0xFFFFFFFF
+
+#: Saved context: r0..r7 (32) + cc thunk (16) + pc (4) + signal (4).
+FRAME_SIZE = 56
+#: Room for the handler argument and its return address.
+FRAME_PUSH = FRAME_SIZE + 8
+
+
+class RegContext(Protocol):
+    """Register access both engines provide."""
+
+    def get_reg(self, i: int) -> int: ...
+
+    def set_reg_(self, i: int, v: int) -> None: ...
+
+    def get_pc(self) -> int: ...
+
+    def set_pc(self, v: int) -> None: ...
+
+    def get_thunk(self) -> tuple: ...
+
+    def set_thunk(self, op: int, dep1: int, dep2: int, ndep: int) -> None: ...
+
+
+def install_sigpage(mem: GuestMemory, addr: int) -> None:
+    """Map the trampoline page: ``movi r0, SYS_SIGRETURN; syscall``."""
+    from ..guest.asm import Assembler
+
+    src = f"__sigreturn_tramp:\n        movi r0, {SYS_SIGRETURN}\n        syscall\n"
+    img = Assembler(text_base=addr).assemble(src)
+    mem.map(addr, PAGE_SIZE, PROT_RX)
+    seg = img.text_segment
+    mem.write_raw(seg.addr, seg.data)
+
+
+def push_signal_frame(
+    ctx: RegContext, mem: GuestMemory, sig: int, handler: int, sigpage: int
+) -> None:
+    """Save the interrupted context and redirect to *handler*."""
+    sp = ctx.get_reg(SP)
+    frame = (sp - FRAME_SIZE) & M32
+    op, dep1, dep2, ndep = ctx.get_thunk()
+    blob = struct.pack(
+        "<8I4I2I",
+        *[ctx.get_reg(i) for i in range(8)],
+        op,
+        dep1,
+        dep2,
+        ndep,
+        ctx.get_pc(),
+        sig,
+    )
+    mem.write(frame, blob)
+    # Handler argument and return address (the trampoline).
+    mem.store32(frame - 4, sig)
+    mem.store32(frame - 8, sigpage)
+    ctx.set_reg_(SP, (frame - 8) & M32)
+    ctx.set_pc(handler)
+
+
+def pop_signal_frame(ctx: RegContext, mem: GuestMemory) -> int:
+    """Restore the context saved by :func:`push_signal_frame`.
+
+    Called with SP as the sigreturn trampoline left it (the handler's
+    ``ret`` consumed the return address, so SP = frame - 4).  Returns the
+    signal number that was delivered.
+    """
+    frame = (ctx.get_reg(SP) + 4) & M32
+    blob = mem.read(frame, FRAME_SIZE)
+    vals = struct.unpack("<8I4I2I", blob)
+    for i in range(8):
+        ctx.set_reg_(i, vals[i])
+    ctx.set_thunk(vals[8], vals[9], vals[10], vals[11])
+    ctx.set_pc(vals[12])
+    return vals[13]

@@ -1,0 +1,238 @@
+"""Guest-side libc: assembly source for the routines that run as guest
+code, plus `lcall` stubs for the host-implemented functions.
+
+The split mirrors real Valgrind's world: string/memory routines are
+ordinary guest code (so tools instrument every load and store in them),
+while the heap allocator is reached through a call gate that tools can
+*replace or wrap* (requirement R8 — "tools that need to track heap
+(de)allocations can use function wrappers or function replacements").
+
+Calling convention: arguments pushed right to left, return value in r0,
+caller pops arguments.  r0-r3 and r6-r7 are caller-saved; fp is
+callee-saved; sp is the hardware stack pointer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+#: Host-implemented libc functions, in lcall-index order.  The matching
+#: implementations live in :mod:`repro.libc.hostlib`.
+LIBC_HOST_FUNCS: List[str] = [
+    "malloc",
+    "free",
+    "calloc",
+    "realloc",
+    "puts",
+    "putint",
+    "printf",
+    "exit",
+    "rand",
+    "srand",
+    "atoi",
+    "abort",
+    "putuint",
+    "putfloat",
+]
+
+LIBC_INDEX: Dict[str, int] = {name: i for i, name in enumerate(LIBC_HOST_FUNCS)}
+
+
+def host_stubs_asm() -> str:
+    """Stub bodies: each host function is `lcall <index>; ret` at its symbol."""
+    lines = ["; ---- host libc stubs ----"]
+    for i, name in enumerate(LIBC_HOST_FUNCS):
+        lines.append(f"{name}:")
+        lines.append(f"        lcall {i}")
+        lines.append("        ret")
+    return "\n".join(lines)
+
+
+CRT0_ASM = """
+; ---- crt0: process entry point ----
+; The loader leaves [sp] = argc and [sp+4] = argv.  Call main(argc, argv)
+; with the C convention, then exit(main's return value).
+_start:
+        ld    r0, [sp]          ; argc
+        ld    r1, [sp+4]        ; argv
+        push  r1
+        push  r0
+        call  main
+        addi  sp, 8
+        push  r0
+        call  exit              ; never returns
+        halt                    ; belt and braces
+"""
+
+STRING_ASM = """
+; ---- string/memory routines (guest code, fully instrumented) ----
+
+; void *memcpy(void *dst, const void *src, uint n)  -- forward byte copy
+memcpy:
+        ld    r0, [sp+4]
+        ld    r1, [sp+8]
+        ld    r2, [sp+12]
+        mov   r3, r0
+.mcpy_w:
+        cmp   r2, 4
+        jltu  .mcpy_b
+        ld    r6, [r1]
+        st    [r3], r6
+        addi  r3, 4
+        addi  r1, 4
+        subi  r2, 4
+        jmp   .mcpy_w
+.mcpy_b:
+        test  r2, r2
+        jz    .mcpy_done
+        ldb   r6, [r1]
+        stb   [r3], r6
+        inc   r3
+        inc   r1
+        dec   r2
+        jmp   .mcpy_b
+.mcpy_done:
+        ret
+
+; void *memmove(void *dst, const void *src, uint n)
+memmove:
+        ld    r0, [sp+4]
+        ld    r1, [sp+8]
+        ld    r2, [sp+12]
+        cmp   r0, r1
+        jleu  .mmv_fwd          ; dst <= src: forward copy is safe
+        mov   r3, r0
+        add   r3, r2            ; dst end
+        add   r1, r2            ; src end
+.mmv_back:
+        test  r2, r2
+        jz    .mmv_done
+        dec   r1
+        dec   r3
+        ldb   r6, [r1]
+        stb   [r3], r6
+        dec   r2
+        jmp   .mmv_back
+.mmv_fwd:
+        mov   r3, r0
+.mmv_floop:
+        test  r2, r2
+        jz    .mmv_done
+        ldb   r6, [r1]
+        stb   [r3], r6
+        inc   r3
+        inc   r1
+        dec   r2
+        jmp   .mmv_floop
+.mmv_done:
+        ret
+
+; void *memset(void *dst, int c, uint n)
+memset:
+        ld    r0, [sp+4]
+        ld    r1, [sp+8]
+        ld    r2, [sp+12]
+        mov   r3, r0
+.mset_loop:
+        test  r2, r2
+        jz    .mset_done
+        stb   [r3], r1
+        inc   r3
+        dec   r2
+        jmp   .mset_loop
+.mset_done:
+        ret
+
+; uint strlen(const char *s)
+strlen:
+        ld    r1, [sp+4]
+        movi  r0, 0
+.slen_loop:
+        ldb   r2, [r1+r0]
+        test  r2, r2
+        jz    .slen_done
+        inc   r0
+        jmp   .slen_loop
+.slen_done:
+        ret
+
+; char *strcpy(char *dst, const char *src)
+strcpy:
+        ld    r0, [sp+4]
+        ld    r1, [sp+8]
+        mov   r3, r0
+.scpy_loop:
+        ldb   r2, [r1]
+        stb   [r3], r2
+        inc   r1
+        inc   r3
+        test  r2, r2
+        jnz   .scpy_loop
+        ret
+
+; int strcmp(const char *a, const char *b)  -- returns -1/0/1
+strcmp:
+        ld    r1, [sp+4]
+        ld    r2, [sp+8]
+.scmp_loop:
+        ldb   r3, [r1]
+        ldb   r6, [r2]
+        cmp   r3, r6
+        jne   .scmp_diff
+        test  r3, r3
+        jz    .scmp_eq
+        inc   r1
+        inc   r2
+        jmp   .scmp_loop
+.scmp_eq:
+        movi  r0, 0
+        ret
+.scmp_diff:
+        jltu  .scmp_lt
+        movi  r0, 1
+        ret
+.scmp_lt:
+        movi  r0, -1
+        ret
+
+; int strncmp(const char *a, const char *b, uint n)
+strncmp:
+        ld    r1, [sp+4]
+        ld    r2, [sp+8]
+        ld    r6, [sp+12]
+.sncmp_loop:
+        test  r6, r6
+        jz    .sncmp_eq
+        ldb   r3, [r1]
+        ldb   r7, [r2]
+        cmp   r3, r7
+        jne   .sncmp_diff
+        test  r3, r3
+        jz    .sncmp_eq
+        inc   r1
+        inc   r2
+        dec   r6
+        jmp   .sncmp_loop
+.sncmp_eq:
+        movi  r0, 0
+        ret
+.sncmp_diff:
+        jltu  .sncmp_lt
+        movi  r0, 1
+        ret
+.sncmp_lt:
+        movi  r0, -1
+        ret
+"""
+
+
+def libc_asm() -> str:
+    """All guest-side libc source: crt0, string routines, host stubs."""
+    return "        .text\n" + CRT0_ASM + STRING_ASM + "\n" + host_stubs_asm() + "\n"
+
+
+def build_source(program: str, *, with_libc: bool = True) -> str:
+    """Combine a user program with the libc prelude into one assembly unit."""
+    if not with_libc:
+        return program
+    return program + "\n" + libc_asm()

@@ -1,0 +1,22 @@
+"""Phase 4: the second, simpler optimisation pass (flat IR → flat IR).
+
+Runs after tool instrumentation: constant folding and dead code removal.
+"This optimisation makes life easier for tools by allowing them to be
+somewhat simple-minded, knowing that the code will be subsequently
+improved" (Section 3.7) — in the paper's Figure 2, this pass shrank the
+instrumented block from 48 statements to 18.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..ir.block import IRSB
+from .opt1 import SpecHelper, dead_code, forward_pass
+
+
+def optimise2(sb: IRSB, *, spec_helper: Optional[SpecHelper] = None) -> IRSB:
+    """Run the post-instrumentation cleanup pass."""
+    sb = forward_pass(sb, spec_helper)
+    sb = dead_code(sb)
+    return sb

@@ -1,0 +1,63 @@
+"""Tool plug-ins.
+
+"Valgrind core + tool plug-in = Valgrind tool."  Available tools:
+
+============== ==========================================================
+``none``       Nulgrind: no instrumentation (framework base overhead)
+``icnt-inline`` per-instruction counter with inline IR
+``icnt-call``  per-instruction counter with a helper call
+``memcheck``   bit-precise definedness + addressability checking
+``cachegrind`` I1/D1/L2 cache profiler
+``massif``     heap profiler
+``taintcheck`` byte-level taint tracker
+``hobbes``     run-time type inference (flags pointer/int misuse)
+``tracegrind`` memory-access tracer (the "lightweight tool" example)
+============== ==========================================================
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Type
+
+from ..core.tool import Tool
+
+
+def _registry() -> Dict[str, Type[Tool]]:
+    from .cachegrind import Cachegrind
+    from .hobbes import Hobbes
+    from .icnt import ICntC, ICntI
+    from .massif import Massif
+    from .memcheck import Memcheck
+    from .nulgrind import Nulgrind
+    from .taintcheck import TaintCheck
+    from .tracegrind import Tracegrind
+
+    return {
+        cls.name: cls
+        for cls in (
+            Nulgrind,
+            ICntI,
+            ICntC,
+            Memcheck,
+            Hobbes,
+            Cachegrind,
+            Massif,
+            TaintCheck,
+            Tracegrind,
+        )
+    }
+
+
+def available_tools():
+    return sorted(_registry())
+
+
+def create_tool(name: str) -> Tool:
+    """Instantiate a tool by its --tool= name."""
+    reg = _registry()
+    try:
+        return reg[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown tool {name!r}; available: {', '.join(sorted(reg))}"
+        ) from None

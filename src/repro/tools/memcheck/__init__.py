@@ -1,0 +1,35 @@
+"""Memcheck: the definedness + addressability checker.
+
+The most widely-used Valgrind tool, and the paper's running example of a
+*heavyweight shadow value tool*: every register and memory value is
+shadowed, bit for bit, by a value saying which of its bits are defined.
+"""
+
+from .instrument import MemcheckInstrumenter, SHADOW_TY
+from .shadow import ShadowMemory
+from .tool import (
+    MC_CHECK_MEM_IS_ADDRESSABLE,
+    MC_CHECK_MEM_IS_DEFINED,
+    MC_COUNT_ERRORS,
+    MC_DO_LEAK_CHECK,
+    MC_MAKE_MEM_DEFINED,
+    MC_MAKE_MEM_NOACCESS,
+    MC_MAKE_MEM_UNDEFINED,
+    Memcheck,
+    REDZONE,
+)
+
+__all__ = [
+    "Memcheck",
+    "MemcheckInstrumenter",
+    "ShadowMemory",
+    "SHADOW_TY",
+    "REDZONE",
+    "MC_MAKE_MEM_NOACCESS",
+    "MC_MAKE_MEM_UNDEFINED",
+    "MC_MAKE_MEM_DEFINED",
+    "MC_CHECK_MEM_IS_ADDRESSABLE",
+    "MC_CHECK_MEM_IS_DEFINED",
+    "MC_DO_LEAK_CHECK",
+    "MC_COUNT_ERRORS",
+]

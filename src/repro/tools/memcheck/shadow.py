@@ -1,0 +1,199 @@
+"""Memcheck's shadow memory: A (addressability) and V (validity) bits.
+
+Every byte of guest memory is shadowed by one A bit (may it be accessed at
+all?) and eight V bits (which of its bits hold defined values?) — the
+bit-precise definedness tracking of the paper.  V-bit convention: a set
+bit means *undefined*.
+
+The table is two-level, like the real thing [19]: a page map whose
+entries are either one of two *distinguished secondaries* — shared
+read-only pages meaning "entirely noaccess" and "entirely addressable and
+defined", by far the common cases — or a private (A-bytes, V-bytes) pair,
+created copy-on-write the first time a page needs byte-level state.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Tuple
+
+PAGE_SHIFT = 12
+PAGE_SIZE = 1 << PAGE_SHIFT
+_PMASK = PAGE_SIZE - 1
+
+# Distinguished secondary markers.
+_NOACCESS = "noaccess"
+_DEFINED = "defined"
+
+#: All-undefined V byte.
+VBITS_UNDEF = 0xFF
+VBITS_DEF = 0x00
+
+
+class ShadowMemory:
+    """The A/V-bit table over the 32-bit guest address space."""
+
+    def __init__(self, default: str = "noaccess") -> None:
+        # page number -> _NOACCESS | _DEFINED | (abits, vbits) bytearrays.
+        # Missing pages take the default state: "noaccess" for Memcheck,
+        # "defined" for tools (like taint trackers) whose neutral state is
+        # all-clean.
+        if default not in ("noaccess", "defined"):
+            raise ValueError(f"bad default {default!r}")
+        self._default = _NOACCESS if default == "noaccess" else _DEFINED
+        self._pages: Dict[int, object] = {}
+
+    # -- page helpers -----------------------------------------------------------
+
+    def _private(self, pn: int):
+        """Get a writable (abits, vbits) pair for page *pn* (copy on write)."""
+        page = self._pages.get(pn, self._default)
+        if isinstance(page, tuple):
+            return page
+        if page is _NOACCESS:
+            pair = (bytearray(PAGE_SIZE), bytearray(b"\xff" * PAGE_SIZE))
+        else:  # _DEFINED
+            pair = (bytearray(b"\x01" * PAGE_SIZE), bytearray(PAGE_SIZE))
+        self._pages[pn] = pair
+        return pair
+
+    # -- range operations (the make_mem_* callbacks) --------------------------------
+
+    def _set_range(self, addr: int, size: int, a: int, v: int, marker=None) -> None:
+        addr &= 0xFFFFFFFF
+        end = addr + size
+        while addr < end:
+            pn = addr >> PAGE_SHIFT
+            off = addr & _PMASK
+            n = min(PAGE_SIZE - off, end - addr)
+            if n == PAGE_SIZE and marker is not None:
+                self._pages[pn] = marker
+            else:
+                abits, vbits = self._private(pn)
+                abits[off : off + n] = bytes([a]) * n
+                vbits[off : off + n] = bytes([v]) * n
+            addr += n
+
+    def make_noaccess(self, addr: int, size: int) -> None:
+        if size > 0:
+            self._set_range(addr, size, 0, VBITS_UNDEF, _NOACCESS)
+
+    def make_undefined(self, addr: int, size: int) -> None:
+        if size > 0:
+            # There is no full-page marker for "addressable but undefined".
+            self._set_range(addr, size, 1, VBITS_UNDEF)
+
+    def make_defined(self, addr: int, size: int) -> None:
+        if size > 0:
+            self._set_range(addr, size, 1, VBITS_DEF, _DEFINED)
+
+    # -- byte-level access ------------------------------------------------------------
+
+    def get_abit(self, addr: int) -> int:
+        page = self._pages.get((addr & 0xFFFFFFFF) >> PAGE_SHIFT, self._default)
+        if page is _NOACCESS:
+            return 0
+        if page is _DEFINED:
+            return 1
+        return page[0][addr & _PMASK]
+
+    def get_vbyte(self, addr: int) -> int:
+        page = self._pages.get((addr & 0xFFFFFFFF) >> PAGE_SHIFT, self._default)
+        if page is _NOACCESS:
+            return VBITS_UNDEF
+        if page is _DEFINED:
+            return VBITS_DEF
+        return page[1][addr & _PMASK]
+
+    def set_vbyte(self, addr: int, v: int) -> None:
+        addr &= 0xFFFFFFFF
+        abits, vbits = self._private(addr >> PAGE_SHIFT)
+        vbits[addr & _PMASK] = v & 0xFF
+
+    # -- word-level access (the LOADV/STOREV backends) -----------------------------------
+
+    def check_addressable(self, addr: int, size: int) -> Optional[int]:
+        """Return the first unaddressable address in the range, or None."""
+        addr &= 0xFFFFFFFF
+        end = addr + size
+        a = addr
+        while a < end:
+            pn = a >> PAGE_SHIFT
+            page = self._pages.get(pn, self._default)
+            if page is _DEFINED:
+                a = (pn + 1) << PAGE_SHIFT
+                continue
+            if page is _NOACCESS:
+                return a
+            abits = page[0]
+            n = min(PAGE_SIZE - (a & _PMASK), end - a)
+            off = a & _PMASK
+            chunk = abits[off : off + n]
+            if 0 in chunk:
+                return a + chunk.index(0)
+            a += n
+        return None
+
+    def load_vbits(self, addr: int, size: int) -> int:
+        """V bits for a little-endian load of *size* bytes (unaddressable
+        bytes read as undefined)."""
+        addr &= 0xFFFFFFFF
+        pn = addr >> PAGE_SHIFT
+        off = addr & _PMASK
+        page = self._pages.get(pn, self._default)
+        if off + size <= PAGE_SIZE:
+            if page is _DEFINED:
+                return 0
+            if page is _NOACCESS:
+                return (1 << (8 * size)) - 1
+            return int.from_bytes(page[1][off : off + size], "little")
+        v = 0
+        for i in range(size):
+            v |= self.get_vbyte(addr + i) << (8 * i)
+        return v
+
+    def store_vbits(self, addr: int, size: int, vbits: int) -> None:
+        """Write V bits for a little-endian store (A bits unchanged)."""
+        addr &= 0xFFFFFFFF
+        pn = addr >> PAGE_SHIFT
+        off = addr & _PMASK
+        if off + size <= PAGE_SIZE:
+            page = self._pages.get(pn, self._default)
+            if page is _DEFINED and vbits == 0:
+                return
+            abits, vb = self._private(pn)
+            vb[off : off + size] = vbits.to_bytes(size, "little")
+            return
+        for i in range(size):
+            self.set_vbyte(addr + i, (vbits >> (8 * i)) & 0xFF)
+
+    def copy_range(self, src: int, dst: int, size: int) -> None:
+        """Copy both A and V bits (mremap, realloc, memcpy wrappers)."""
+        # Read out first in case the ranges overlap.
+        a = [self.get_abit(src + i) for i in range(size)]
+        v = [self.get_vbyte(src + i) for i in range(size)]
+        for i in range(size):
+            pn = ((dst + i) & 0xFFFFFFFF) >> PAGE_SHIFT
+            abits, vbits = self._private(pn)
+            abits[(dst + i) & _PMASK] = a[i]
+            vbits[(dst + i) & _PMASK] = v[i]
+
+    # -- inspection --------------------------------------------------------------------
+
+    def first_undefined(self, addr: int, size: int) -> Optional[int]:
+        """First address in the range whose V byte is not fully defined."""
+        for i in range(size):
+            if self.get_vbyte(addr + i) != 0:
+                return addr + i
+        return None
+
+    def stats(self) -> Tuple[int, int, int]:
+        """(noaccess pages, fully-defined pages, private pages) in the map."""
+        na = df = pv = 0
+        for page in self._pages.values():
+            if page is _NOACCESS:
+                na += 1
+            elif page is _DEFINED:
+                df += 1
+            else:
+                pv += 1
+        return na, df, pv

@@ -1,0 +1,482 @@
+"""The Memcheck tool plug-in.
+
+Tracks, for every bit in the system, whether it holds a defined value
+(V bits), and for every byte of memory, whether it may be accessed at all
+(A bits).  Reports:
+
+* reads/writes of unaddressable memory (``InvalidRead``/``InvalidWrite``),
+* dangerous *uses* of undefined values — as branch conditions, memory
+  addresses, jump targets (``UninitCondition``/``UninitValue``),
+* undefined or unaddressable system-call parameters (``SyscallParam``),
+* invalid and double frees (``InvalidFree``),
+* memory leaks at exit (``Leak``), via a reachability scan.
+
+Heap blocks get red zones and freed blocks are quarantined, both by
+replacing the allocator through the core's function-replacement
+mechanism (requirement R8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ...core.tool import Tool
+from ...guest.regs import GUEST_STATE_SIZE, SHADOW_OFFSET
+from ...ir.block import IRSB
+from ...ir.types import Ty
+from ...kernel.memory import GuestFault
+from ...libc.hostlib import HDR_SIZE
+from .instrument import LOADV, MemcheckInstrumenter, STOREV, VALUE_CHECK
+from .shadow import ShadowMemory
+
+M32 = 0xFFFFFFFF
+
+#: Memcheck's client-request range ('MC' << 16).
+MC_BASE = 0x4D43_0000
+MC_MAKE_MEM_NOACCESS = MC_BASE + 0
+MC_MAKE_MEM_UNDEFINED = MC_BASE + 1
+MC_MAKE_MEM_DEFINED = MC_BASE + 2
+MC_CHECK_MEM_IS_ADDRESSABLE = MC_BASE + 3
+MC_CHECK_MEM_IS_DEFINED = MC_BASE + 4
+MC_DO_LEAK_CHECK = MC_BASE + 5
+MC_COUNT_ERRORS = MC_BASE + 6
+
+#: Red-zone size around heap blocks.
+REDZONE = 16
+#: How many freed blocks stay quarantined (unaddressable) to catch
+#: use-after-free.
+FREED_QUEUE_LEN = 64
+
+
+@dataclass
+class HeapBlock:
+    payload: int
+    size: int
+    alloc_stack: Tuple[int, ...]
+
+
+class Memcheck(Tool):
+    """A memory error detector (the paper's flagship heavyweight tool)."""
+
+    name = "memcheck"
+    description = "detects undefined-value and memory-addressability errors"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.shadow = ShadowMemory()
+        self.blocks: Dict[int, HeapBlock] = {}
+        self.freed: List[Tuple[int, int, Tuple[int, ...]]] = []
+        self.leak_check_at_exit = "summary"  # no | summary | full
+        self.instrumenter = MemcheckInstrumenter()
+        self.total_allocated = 0
+        self.n_allocs = 0
+        self.n_frees = 0
+        self._leak_result: Optional[dict] = None
+
+    # -- lifecycle --------------------------------------------------------------------
+
+    def pre_clo_init(self, core) -> None:
+        super().pre_clo_init(core)
+        ev = core.events
+        # Table 1's right-hand column, callback for callback.
+        ev.track_pre_reg_read(self.check_reg_is_defined)
+        ev.track_post_reg_write(self.make_reg_defined)
+        ev.track_pre_mem_read(self.check_mem_is_defined)
+        ev.track_pre_mem_read_asciiz(self.check_mem_is_defined_asciiz)
+        ev.track_pre_mem_write(self.check_mem_is_addressable)
+        ev.track_post_mem_write(self.make_mem_defined_w)
+        ev.track_new_mem_startup(self.make_mem_defined_startup)
+        ev.track_new_mem_mmap(self.make_mem_defined_startup)
+        ev.track_die_mem_munmap(self.make_mem_noaccess)
+        ev.track_new_mem_brk(self.make_mem_undefined_brk)
+        ev.track_die_mem_brk(self.make_mem_noaccess)
+        ev.track_copy_mem_mremap(self.copy_range)
+        ev.track_new_mem_stack(self.make_mem_undefined)
+        ev.track_die_mem_stack(self.make_mem_noaccess)
+
+        for size, name in LOADV.items():
+            core.helpers.register_dirty(name, self._mk_loadv(size))
+        for size, name in STOREV.items():
+            core.helpers.register_dirty(name, self._mk_storev(size))
+        for size, name in VALUE_CHECK.items():
+            core.helpers.register_dirty(name, self._mk_value_check(size))
+
+        core.redirector.replace_libc("malloc", self._repl_malloc)
+        core.redirector.replace_libc("free", self._repl_free)
+        core.redirector.replace_libc("calloc", self._repl_calloc)
+        core.redirector.replace_libc("realloc", self._repl_realloc)
+
+    def process_cmd_line_option(self, option: str) -> bool:
+        name, _, value = option[2:].partition("=")
+        if name == "leak-check":
+            if value not in ("no", "summary", "full"):
+                return False
+            self.leak_check_at_exit = value
+            return True
+        if name == "undef-value-errors":
+            self.instrumenter.check_values = value != "no"
+            return True
+        return False
+
+    def instrument(self, sb: IRSB) -> IRSB:
+        return self.instrumenter.instrument(sb)
+
+    def fini(self, exit_code: int) -> None:
+        mgr = self.core.error_mgr
+        if self.leak_check_at_exit != "no":
+            self.leak_check(full=self.leak_check_at_exit == "full")
+        self.core.log(
+            f"memcheck: heap usage: {self.n_allocs} allocs, {self.n_frees} frees, "
+            f"{self.total_allocated} bytes allocated"
+        )
+        mgr.summarise()
+
+    # -- IR helpers ---------------------------------------------------------------------
+
+    def _mk_loadv(self, size: int):
+        shadow = self.shadow
+
+        def loadv(env, addr: int) -> int:
+            bad = shadow.check_addressable(addr, size)
+            if bad is not None:
+                self._report_access_error("InvalidRead", addr, size, bad, env)
+            return shadow.load_vbits(addr, size)
+
+        return loadv
+
+    def _mk_storev(self, size: int):
+        shadow = self.shadow
+
+        def storev(env, addr: int, vbits: int) -> int:
+            bad = shadow.check_addressable(addr, size)
+            if bad is not None:
+                self._report_access_error("InvalidWrite", addr, size, bad, env)
+            shadow.store_vbits(addr, size, vbits)
+            return 0
+
+        return storev
+
+    def _mk_value_check(self, size: int):
+        def check_fail(env) -> int:
+            if size == 0:
+                msg = "Conditional jump or move depends on uninitialised value(s)"
+            else:
+                msg = f"Use of uninitialised value of size {size}"
+            self.core.record_error("UninitValue" if size else "UninitCondition", msg)
+            return 0
+
+        return check_fail
+
+    def _report_access_error(
+        self, kind: str, addr: int, size: int, bad: int, env
+    ) -> None:
+        verb = "read" if kind == "InvalidRead" else "write"
+        msg = f"Invalid {verb} of size {size} at address {addr:#x}"
+        extra = self._describe_addr(bad)
+        if extra:
+            msg += f" ({extra})"
+        self.core.record_error(kind, msg, addr=addr)
+
+    def _describe_addr(self, addr: int) -> str:
+        """Relate a bad address to a heap block, like real Memcheck does."""
+        for payload, size, _stack in reversed(self.freed):
+            if payload - REDZONE <= addr < payload + size + REDZONE:
+                return f"{addr - payload} bytes inside a freed block of size {size}"
+        for block in self.blocks.values():
+            if block.payload - REDZONE <= addr < block.payload:
+                return f"{block.payload - addr} bytes before a block of size {block.size}"
+            if block.payload + block.size <= addr < block.payload + block.size + REDZONE:
+                return (
+                    f"{addr - (block.payload + block.size)} bytes after a block "
+                    f"of size {block.size}"
+                )
+        return ""
+
+    # -- event callbacks (Table 1 right-hand column) ------------------------------------------
+
+    def _ts(self, tid: int):
+        return self.core.scheduler.threads[tid]
+
+    def check_reg_is_defined(self, tid: int, offset: int, size: int, name: str):
+        ts = self._ts(tid)
+        v = ts.get_bytes(offset + SHADOW_OFFSET, size)
+        if any(v):
+            self.core.record_error(
+                "SyscallParam",
+                f"Syscall param {name} contains uninitialised byte(s)",
+            )
+
+    def make_reg_defined(self, tid: int, offset: int, size: int, name: str):
+        self._ts(tid).put_bytes(offset + SHADOW_OFFSET, b"\0" * size)
+
+    def check_mem_is_defined(self, tid: int, addr: int, size: int, name: str):
+        if size == 0:
+            return
+        bad = self.shadow.check_addressable(addr, size)
+        if bad is not None:
+            self.core.record_error(
+                "SyscallParam",
+                f"Syscall param {name} points to unaddressable byte(s)",
+                addr=bad,
+            )
+            return
+        first = self.shadow.first_undefined(addr, size)
+        if first is not None:
+            self.core.record_error(
+                "SyscallParam",
+                f"Syscall param {name} points to uninitialised byte(s)",
+                addr=first,
+            )
+
+    def check_mem_is_defined_asciiz(self, tid: int, addr: int, name: str):
+        a = addr
+        for _ in range(1 << 16):
+            if self.shadow.get_abit(a) == 0:
+                self.core.record_error(
+                    "SyscallParam",
+                    f"Syscall param {name} points to unaddressable byte(s)",
+                    addr=a,
+                )
+                return
+            if self.shadow.get_vbyte(a) != 0:
+                self.core.record_error(
+                    "SyscallParam",
+                    f"Syscall param {name} points to uninitialised byte(s)",
+                    addr=a,
+                )
+                return
+            try:
+                if self.core.memory.read(a, 1) == b"\0":
+                    return
+            except GuestFault:
+                return
+            a += 1
+
+    def check_mem_is_addressable(self, tid: int, addr: int, size: int, name: str):
+        if size == 0:
+            return
+        bad = self.shadow.check_addressable(addr, size)
+        if bad is not None:
+            self.core.record_error(
+                "SyscallParam",
+                f"Syscall param {name} points to unaddressable byte(s)",
+                addr=bad,
+            )
+
+    def make_mem_defined_w(self, tid: int, addr: int, size: int, name: str):
+        self.shadow.make_defined(addr, size)
+
+    def make_mem_defined_startup(self, addr: int, size: int, r, w, x):
+        self.shadow.make_defined(addr, size)
+
+    def make_mem_undefined_brk(self, addr: int, size: int, tid: int):
+        self.shadow.make_undefined(addr, size)
+
+    def make_mem_undefined(self, addr: int, size: int):
+        self.shadow.make_undefined(addr, size)
+
+    def make_mem_noaccess(self, addr: int, size: int):
+        self.shadow.make_noaccess(addr, size)
+
+    def copy_range(self, src: int, dst: int, size: int):
+        self.shadow.copy_range(src, dst, size)
+
+    # -- heap replacement (R8) -------------------------------------------------------------------
+
+    def _alloc_stack(self) -> Tuple[int, ...]:
+        return tuple(self.core.stack_trace_pcs(8))
+
+    def _arg(self, machine, i: int) -> int:
+        sp = machine.reg(4)
+        return int.from_bytes(machine.mem.read(sp + 4 + 4 * i, 4), "little")
+
+    def _new_block(self, machine, size: int, *, defined: bool) -> int:
+        heap = self.core.libc.heap
+        raw = heap.malloc(machine, size + 2 * REDZONE)
+        if raw == 0:
+            return 0
+        payload = raw + REDZONE
+        self.shadow.make_noaccess(raw, REDZONE)
+        if defined:
+            self.shadow.make_defined(payload, size)
+        else:
+            self.shadow.make_undefined(payload, size)
+        self.shadow.make_noaccess(payload + size, REDZONE)
+        self.blocks[payload] = HeapBlock(payload, size, self._alloc_stack())
+        self.total_allocated += size
+        self.n_allocs += 1
+        return payload
+
+    def _repl_malloc(self, machine) -> int:
+        return self._new_block(machine, self._arg(machine, 0), defined=False)
+
+    def _repl_calloc(self, machine) -> int:
+        n, sz = self._arg(machine, 0), self._arg(machine, 1)
+        total = n * sz
+        p = self._new_block(machine, total, defined=True)
+        if p:
+            machine.mem.write_raw(p, b"\0" * total)
+        return p
+
+    def _free_block(self, machine, payload: int) -> bool:
+        block = self.blocks.pop(payload, None)
+        if block is None:
+            for fp, fsize, _ in self.freed:
+                if fp == payload:
+                    self.core.record_error(
+                        "InvalidFree",
+                        f"Invalid free() at address {payload:#x} (double free)",
+                        addr=payload,
+                    )
+                    return False
+            self.core.record_error(
+                "InvalidFree",
+                f"Invalid free() / delete of address {payload:#x}",
+                addr=payload,
+            )
+            return False
+        self.n_frees += 1
+        # Quarantine: the whole block (red zones included) stays noaccess.
+        self.shadow.make_noaccess(payload - REDZONE, block.size + 2 * REDZONE)
+        self.freed.append((payload, block.size, self._alloc_stack()))
+        if len(self.freed) > FREED_QUEUE_LEN:
+            old_payload, old_size, _ = self.freed.pop(0)
+            heap = self.core.libc.heap
+            heap.free(machine, old_payload - REDZONE)
+        return True
+
+    def _repl_free(self, machine) -> int:
+        payload = self._arg(machine, 0)
+        if payload:
+            self._free_block(machine, payload)
+        return 0
+
+    def _repl_realloc(self, machine) -> int:
+        payload, new_size = self._arg(machine, 0), self._arg(machine, 1)
+        if payload == 0:
+            return self._new_block(machine, new_size, defined=False)
+        block = self.blocks.get(payload)
+        if block is None:
+            self.core.record_error(
+                "InvalidFree", f"realloc() of invalid address {payload:#x}"
+            )
+            return 0
+        newp = self._new_block(machine, new_size, defined=False)
+        if newp:
+            n = min(block.size, new_size)
+            machine.mem.write_raw(newp, machine.mem.read_raw(payload, n))
+            self.shadow.copy_range(payload, newp, n)
+            self._free_block(machine, payload)
+        return newp
+
+    # -- leak checking ---------------------------------------------------------------------------
+
+    def leak_check(self, *, full: bool = False) -> dict:
+        """Mark-and-sweep reachability over live heap blocks."""
+        mem = self.core.memory
+        starts = sorted(self.blocks)
+
+        def block_at(ptr: int) -> Optional[int]:
+            import bisect
+
+            i = bisect.bisect_right(starts, ptr) - 1
+            if i < 0:
+                return None
+            p = starts[i]
+            if p <= ptr < p + max(1, self.blocks[p].size):
+                return p
+            return None
+
+        # Roots: all guest registers of all threads, plus every addressable
+        # word outside the heap blocks themselves.
+        reached: set = set()
+        frontier: List[int] = []
+
+        def note(ptr: int) -> None:
+            p = block_at(ptr)
+            if p is not None and p not in reached:
+                reached.add(p)
+                frontier.append(p)
+
+        sched = self.core.scheduler
+        if sched is not None:
+            for ts in sched.threads.values():
+                for i in range(8):
+                    note(ts.reg(i))
+        heap_ranges = [(p, p + self.blocks[p].size) for p in starts]
+
+        def in_heap(addr: int) -> bool:
+            import bisect
+
+            i = bisect.bisect_right(heap_ranges, (addr, 1 << 33)) - 1
+            return i >= 0 and heap_ranges[i][0] <= addr < heap_ranges[i][1]
+
+        for start, size, _prot in mem.mapped_ranges():
+            for a in range(start, start + size - 3, 4):
+                if in_heap(a):
+                    continue
+                if self.shadow.get_abit(a) == 0:
+                    continue
+                note(mem.load32(a))
+        # Transitively scan reached blocks.
+        while frontier:
+            p = frontier.pop()
+            blk = self.blocks[p]
+            for a in range(p, p + blk.size - 3, 4):
+                note(mem.load32(a))
+
+        lost = [p for p in starts if p not in reached]
+        lost_bytes = sum(self.blocks[p].size for p in lost)
+        reach_bytes = sum(self.blocks[p].size for p in reached)
+        result = {
+            "definitely_lost_blocks": len(lost),
+            "definitely_lost_bytes": lost_bytes,
+            "still_reachable_blocks": len(reached),
+            "still_reachable_bytes": reach_bytes,
+        }
+        self._leak_result = result
+        self.core.log(
+            f"LEAK SUMMARY: definitely lost: {lost_bytes} bytes in "
+            f"{len(lost)} blocks; still reachable: {reach_bytes} bytes in "
+            f"{len(reached)} blocks"
+        )
+        if full:
+            for p in lost:
+                blk = self.blocks[p]
+                frames = self.core.error_mgr.symbolise_stack(blk.alloc_stack)
+                self.core.log(
+                    f"  {blk.size} bytes definitely lost, allocated at:"
+                )
+                for fr in frames[:6]:
+                    self.core.log(f"     at {fr.describe()}")
+        return result
+
+    # -- client requests ----------------------------------------------------------------------------
+
+    def handle_client_request(self, tid: int, args) -> Optional[int]:
+        code, a1, a2 = args[0], args[1], args[2]
+        if code == MC_MAKE_MEM_NOACCESS:
+            self.shadow.make_noaccess(a1, a2)
+            return 0
+        if code == MC_MAKE_MEM_UNDEFINED:
+            self.shadow.make_undefined(a1, a2)
+            return 0
+        if code == MC_MAKE_MEM_DEFINED:
+            self.shadow.make_defined(a1, a2)
+            return 0
+        if code == MC_CHECK_MEM_IS_ADDRESSABLE:
+            bad = self.shadow.check_addressable(a1, a2)
+            return 0 if bad is None else bad
+        if code == MC_CHECK_MEM_IS_DEFINED:
+            bad = self.shadow.check_addressable(a1, a2)
+            if bad is not None:
+                return bad
+            first = self.shadow.first_undefined(a1, a2)
+            return 0 if first is None else first
+        if code == MC_DO_LEAK_CHECK:
+            self.leak_check(full=bool(a1))
+            return 0
+        if code == MC_COUNT_ERRORS:
+            return self.core.error_mgr.total_errors
+        return None

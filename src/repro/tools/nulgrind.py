@@ -1,0 +1,17 @@
+"""Nulgrind: the null tool.
+
+Adds no analysis code; measures the framework's base overhead (the
+"no-instrumentation case" of Table 2).  In Valgrind 3.2.1 this tool was
+39 lines of C; the whole of it is the default `instrument` method.
+"""
+
+from __future__ import annotations
+
+from ..core.tool import Tool
+
+
+class Nulgrind(Tool):
+    """The tool that does nothing."""
+
+    name = "none"
+    description = "the null tool (no instrumentation)"

@@ -1,0 +1,270 @@
+"""TaintCheck: dynamic taint analysis (after Newsome & Song, NDSS'05).
+
+A second shadow-value tool, built on the same first-class shadow-register
+and events machinery Memcheck uses — but tracking one *taint* bit per
+byte instead of one definedness bit per bit.  Data read from files/stdin
+(the ``read`` syscall) is tainted; taint propagates through every
+operation; using tainted data as an indirect jump/call target or as a
+system-call argument raises an error (the attack-detection sinks).
+
+Client requests let programs taint/untaint/query ranges explicitly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..core.tool import Tool
+from ..guest.regs import GUEST_STATE_SIZE, SHADOW_OFFSET, gpr_offset
+from ..ir.block import IRSB
+from ..ir.expr import Binop, CCall, Const, Expr, Get, ITE, Load, RdTmp, Unop, const
+from ..ir.stmt import Dirty, Exit, IMark, NoOp, Put, StateFx, Store, WrTmp
+from ..ir.types import Ty
+from ..opt.flatten import flatten
+from .memcheck.instrument import SHADOW_TY, _cmpnez, _pcast, _uifu
+from .memcheck.shadow import ShadowMemory
+
+TC_BASE = 0x5443_0000  # 'TC'
+TC_TAINT = TC_BASE + 0
+TC_UNTAINT = TC_BASE + 1
+TC_IS_TAINTED = TC_BASE + 2
+
+_LOADT = {1: "tc_LOADT8", 2: "tc_LOADT16", 4: "tc_LOADT32", 8: "tc_LOADT64",
+          16: "tc_LOADT128"}
+_STORET = {1: "tc_STORET8", 2: "tc_STORET16", 4: "tc_STORET32", 8: "tc_STORET64",
+           16: "tc_STORET128"}
+_SINK = "tc_sink_fail"
+_ADDR_SINK = "tc_addr_sink"
+
+
+class TaintCheck(Tool):
+    """Byte-granularity taint tracker."""
+
+    name = "taintcheck"
+    description = "taint tracking: flags tainted jump targets/syscall args"
+
+    def __init__(self) -> None:
+        super().__init__()
+        # Reuse the two-level shadow table; "V bits" here mean taint bits
+        # (we taint whole bytes: 0x00 clean, 0xFF tainted); everything
+        # starts clean.
+        self.shadow = ShadowMemory(default="defined")
+        self.bytes_tainted = 0
+        #: Also flag tainted values used as load/store *addresses*
+        #: (--taint-addr=yes).  Off by default, as in TaintCheck: table
+        #: dispatch through a clean jump table launders taint through the
+        #: index, and this policy closes that hole at the cost of noise.
+        self.check_addresses = False
+
+    def pre_clo_init(self, core) -> None:
+        super().pre_clo_init(core)
+        for size, name in _LOADT.items():
+            core.helpers.register_dirty(name, self._mk_load(size))
+        for size, name in _STORET.items():
+            core.helpers.register_dirty(name, self._mk_store(size))
+        core.helpers.register_dirty(_SINK, self._sink_fail)
+        core.helpers.register_dirty(_ADDR_SINK, self._addr_sink_fail)
+        core.events.track_post_mem_write(self._post_mem_write)
+        core.events.track_pre_reg_read(self._check_reg)
+
+    # -- shadow-memory helpers ---------------------------------------------------
+
+    def _mk_load(self, size: int):
+        def load(env, addr: int) -> int:
+            return self.shadow.load_vbits(addr, size)
+
+        return load
+
+    def _mk_store(self, size: int):
+        def store(env, addr: int, t: int) -> int:
+            self.shadow.store_vbits(addr, size, t)
+            return 0
+
+        return store
+
+    def _sink_fail(self, env) -> int:
+        self.core.record_error(
+            "TaintedJump",
+            "Control flow transfer to a tainted address",
+        )
+        return 0
+
+    def _addr_sink_fail(self, env) -> int:
+        self.core.record_error(
+            "TaintedAddr",
+            "Tainted value used as a memory address",
+        )
+        return 0
+
+    def process_cmd_line_option(self, option: str) -> bool:
+        name, _, value = option[2:].partition("=")
+        if name == "taint-addr":
+            self.check_addresses = value != "no"
+            return True
+        return False
+
+    # -- sources and syscall sinks ---------------------------------------------------
+
+    def _post_mem_write(self, tid: int, addr: int, size: int, name: str) -> None:
+        if name == "read(buf)":
+            # Data arriving from the outside world is tainted.
+            self.shadow.make_undefined(addr, size)
+            self.bytes_tainted += size
+        else:
+            self.shadow.make_defined(addr, size)
+
+    def _check_reg(self, tid: int, offset: int, size: int, name: str) -> None:
+        ts = self.core.scheduler.threads[tid]
+        if any(ts.get_bytes(offset + SHADOW_OFFSET, size)):
+            self.core.record_error(
+                "TaintedSyscall", f"Syscall param {name} is tainted"
+            )
+
+    # -- instrumentation -----------------------------------------------------------------
+
+    def instrument(self, sb: IRSB) -> IRSB:
+        ctx = _TaintCtx(sb, check_addresses=self.check_addresses)
+        ctx.run()
+        return flatten(ctx.out)
+
+    # -- client requests -------------------------------------------------------------------
+
+    def handle_client_request(self, tid: int, args) -> Optional[int]:
+        code, a1, a2 = args[0], args[1], args[2]
+        if code == TC_TAINT:
+            self.shadow.make_undefined(a1, a2)
+            self.bytes_tainted += a2
+            return 0
+        if code == TC_UNTAINT:
+            self.shadow.make_defined(a1, a2)
+            return 0
+        if code == TC_IS_TAINTED:
+            return 0 if self.shadow.first_undefined(a1, a2) is None else 1
+        return None
+
+    def fini(self, exit_code: int) -> None:
+        self.core.log(
+            f"taintcheck: {self.bytes_tainted} bytes entered tainted; "
+            f"{self.core.error_mgr.total_errors} sink violations"
+        )
+
+
+class _TaintCtx:
+    """Per-block taint instrumenter: UifU everywhere, byte granularity."""
+
+    def __init__(self, sb: IRSB, check_addresses: bool = False):
+        self.sb = sb
+        self.check_addresses = check_addresses
+        self.out = IRSB(tyenv=dict(sb.tyenv), jumpkind=sb.jumpkind,
+                        guest_addr=sb.guest_addr)
+        self.shadow_tmp: Dict[int, int] = {}
+
+    def _check_addr(self, addr_atom: Expr) -> None:
+        if not self.check_addresses:
+            return
+        t = self.s_atom(addr_atom)
+        if isinstance(t, Const):
+            return
+        guard = self.out.assign_new(_cmpnez(Ty.I32, t))
+        self.out.add(Dirty(_ADDR_SINK, (), guard=guard,
+                           state_fx=(StateFx(False, gpr_offset(4), 4),)))
+
+    def s_tmp(self, tmp: int) -> int:
+        s = self.shadow_tmp.get(tmp)
+        if s is None:
+            s = self.out.new_tmp(SHADOW_TY[self.sb.type_of_tmp(tmp)])
+            self.shadow_tmp[tmp] = s
+        return s
+
+    def s_atom(self, e: Expr) -> Expr:
+        if isinstance(e, Const):
+            return const(SHADOW_TY[e.ty], 0)
+        return RdTmp(self.s_tmp(e.tmp))
+
+    def texpr(self, e: Expr) -> Expr:
+        if isinstance(e, (Const, RdTmp)):
+            return self.s_atom(e)
+        if isinstance(e, Get):
+            if e.offset >= GUEST_STATE_SIZE:
+                return const(SHADOW_TY[e.ty], 0)
+            return Get(e.offset + SHADOW_OFFSET, SHADOW_TY[e.ty])
+        if isinstance(e, Load):
+            self._check_addr(e.addr)
+            sty = SHADOW_TY[e.ty]
+            t = self.out.new_tmp(sty)
+            self.out.add(Dirty(_LOADT[e.ty.size], (e.addr,), tmp=t, retty=sty))
+            return RdTmp(t)
+        if isinstance(e, Unop):
+            src = SHADOW_TY[self.sb.type_of(e.arg)]
+            dst = SHADOW_TY[self.sb.type_of(e)]
+            va = self.s_atom(e.arg)
+            op = e.op
+            # Bit-transparent conversions keep per-byte precision.
+            if op.startswith(("Not",)):
+                return va
+            if (op[0].isdigit() and "to" in op and "F" not in op) or op.startswith(
+                "Dup"
+            ):
+                return Unop(op, va)
+            return _pcast(src, dst, va)
+        if isinstance(e, Binop):
+            sty = SHADOW_TY[self.sb.type_of(e)]
+            s1 = SHADOW_TY[self.sb.type_of(e.arg1)]
+            s2 = SHADOW_TY[self.sb.type_of(e.arg2)]
+            va, vb = self.s_atom(e.arg1), self.s_atom(e.arg2)
+            if s1 is sty and s2 is sty:
+                return _uifu(sty, va, vb)
+            u1 = va if s1 is sty else _pcast(s1, sty, va)
+            u2 = vb if s2 is sty else _pcast(s2, sty, vb)
+            return _uifu(sty, u1, u2)
+        if isinstance(e, ITE):
+            sty = SHADOW_TY[self.sb.type_of(e)]
+            return ITE(e.cond, self.s_atom(e.iftrue), self.s_atom(e.iffalse))
+        if isinstance(e, CCall):
+            sty = SHADOW_TY[e.ty]
+            acc: Optional[Expr] = None
+            for a in e.args:
+                va = self.s_atom(a)
+                if isinstance(va, Const):
+                    continue
+                piece = _pcast(SHADOW_TY[self.sb.type_of(a)], sty, va)
+                acc = piece if acc is None else _uifu(sty, acc, piece)
+            return acc if acc is not None else const(sty, 0)
+        raise TypeError(f"taintcheck cannot shadow {e!r}")
+
+    def run(self) -> None:
+        sb, out = self.sb, self.out
+        for s in sb.stmts:
+            if isinstance(s, (NoOp, IMark)):
+                out.add(s)
+            elif isinstance(s, WrTmp):
+                out.add(WrTmp(self.s_tmp(s.tmp), self.texpr(s.data)))
+                out.add(s)
+            elif isinstance(s, Put):
+                if s.offset < GUEST_STATE_SIZE:
+                    out.add(Put(s.offset + SHADOW_OFFSET, self.s_atom(s.data)))
+                out.add(s)
+            elif isinstance(s, Store):
+                self._check_addr(s.addr)
+                ty = sb.type_of(s.data)
+                out.add(Dirty(_STORET[ty.size], (s.addr, self.s_atom(s.data))))
+                out.add(s)
+            elif isinstance(s, Exit):
+                out.add(s)
+            elif isinstance(s, Dirty):
+                out.add(s)
+                for fx in s.state_fx:
+                    if fx.write and fx.offset < GUEST_STATE_SIZE:
+                        out.add(Put(fx.offset + SHADOW_OFFSET, const(Ty.I32, 0)))
+                if s.tmp is not None:
+                    out.add(WrTmp(self.s_tmp(s.tmp),
+                                  const(SHADOW_TY[sb.type_of_tmp(s.tmp)], 0)))
+            else:
+                raise TypeError(f"taintcheck cannot instrument {s!r}")
+        # Sink: indirect control transfers to tainted addresses.
+        if sb.next is not None and not isinstance(sb.next, Const):
+            v = self.s_atom(sb.next)
+            guard = out.assign_new(_cmpnez(Ty.I32, v))
+            out.add(Dirty(_SINK, (), guard=guard,
+                          state_fx=(StateFx(False, gpr_offset(4), 4),)))
+        out.next = sb.next

@@ -1,0 +1,687 @@
+"""The thirteen floating-point workloads (SPEC CPU2000 CFP-shaped kernels).
+
+Stencils, reductions, transforms and particle pushes, each shaped after
+its namesake.  All use the F64 register file heavily (several also use
+SIMD), so they exercise exactly the code the paper says other frameworks'
+shadow-value tools could not handle.  Each prints an integer checksum
+derived from its FP result.
+"""
+
+from __future__ import annotations
+
+
+def _checksum_epilogue() -> str:
+    """f0 holds the result: print trunc(f0 * 1000) and return 0."""
+    return """
+        fldi f1, 1000
+        fmul f0, f1
+        fcvti r0, f0
+        push r0
+        call putint
+        addi sp, 4
+        movi r0, 0
+        ret
+"""
+
+
+def ammp(scale: float) -> str:
+    atoms = max(24, int(96 * scale))
+    return f"""
+        .equ ATOMS, {atoms}
+        .text
+; Molecular dynamics: O(n^2) pairwise force accumulation.
+main:   movi r1, 0
+.init:  ficvt f0, r1
+        fldi f1, 7
+        fdiv f0, f1
+        fst  [xs+r1*8], f0
+        inc  r1
+        cmpi r1, ATOMS
+        jl   .init
+        fldi f0, 0              ; energy
+        movi r1, 0
+.outer: movi r2, 0
+.inner: cmp  r2, r1
+        je   .skip
+        fld  f2, [xs+r1*8]
+        fld  f3, [xs+r2*8]
+        fsub f2, f3             ; dx
+        fmul f2, f2             ; dx^2
+        fldi f3, 1
+        fadd f2, f3             ; soften
+        fldi f4, 1
+        fdiv f4, f2             ; 1/r^2
+        fadd f0, f4
+.skip:  inc  r2
+        cmpi r2, ATOMS
+        jl   .inner
+        inc  r1
+        cmpi r1, ATOMS
+        jl   .outer
+{_checksum_epilogue()}
+        .data
+xs:     .space {atoms * 8 + 8}
+"""
+
+
+def applu(scale: float) -> str:
+    n = max(64, int(512 * scale))
+    sweeps = max(6, int(30 * scale))
+    return f"""
+        .equ N, {n}
+        .equ SWEEPS, {sweeps}
+        .text
+; LU solver: forward/backward substitution sweeps over a band.
+main:   movi r1, 0
+.init:  ficvt f0, r1
+        fldi f1, 3
+        fdiv f0, f1
+        fst  [v+r1*8], f0
+        inc  r1
+        cmpi r1, N
+        jl   .init
+        movi r7, 0
+.sweep: movi r1, 1              ; forward: v[i] += 0.5*v[i-1]
+.fwd:   fld  f0, [v+r1*8]
+        fld  f1, [v+r1*8-8]
+        fldi f2, 2
+        fdiv f1, f2
+        fadd f0, f1
+        fst  [v+r1*8], f0
+        inc  r1
+        cmpi r1, N
+        jl   .fwd
+        movi r1, N-2            ; backward: v[i] -= 0.25*v[i+1]
+.bwd:   fld  f0, [v+r1*8]
+        fld  f1, [v+r1*8+8]
+        fldi f2, 4
+        fdiv f1, f2
+        fsub f0, f1
+        fst  [v+r1*8], f0
+        dec  r1
+        jnl  .bwd
+        inc  r7
+        cmpi r7, SWEEPS
+        jl   .sweep
+        fld  f0, [v+8]
+        fld  f1, [v+{8 * (n // 2)}]
+        fadd f0, f1
+{_checksum_epilogue()}
+        .data
+v:      .space {n * 8 + 16}
+"""
+
+
+def apsi(scale: float) -> str:
+    iters = max(400, int(6000 * scale))
+    return f"""
+        .equ ITERS, {iters}
+        .text
+; Meteorology: pointwise transcendental-ish updates (polynomial approx
+; of exp) over a column of air.
+main:   fldi f0, 0              ; accumulator
+        movi r1, 0
+.loop:  ficvt f1, r1
+        fldi f2, ITERS
+        fdiv f1, f2             ; x in [0,1)
+        ; exp(x) ~ 1 + x + x^2/2 + x^3/6
+        fmov f3, f1
+        fmul f3, f1             ; x^2
+        fmov f4, f3
+        fmul f4, f1             ; x^3
+        fldi f5, 2
+        fdiv f3, f5
+        fldi f5, 6
+        fdiv f4, f5
+        fldi f5, 1
+        fadd f5, f1
+        fadd f5, f3
+        fadd f5, f4
+        fadd f0, f5
+        inc  r1
+        cmpi r1, ITERS
+        jl   .loop
+        fldi f1, ITERS
+        fdiv f0, f1
+{_checksum_epilogue()}
+"""
+
+
+def art(scale: float) -> str:
+    f1s = max(20, int(80 * scale))
+    f2s = max(10, int(30 * scale))
+    return f"""
+        .equ NF1, {f1s}
+        .equ NF2, {f2s}
+        .text
+; Neural net recognition: weighted sums + winner-take-all.
+main:   movi r1, 0
+.wi:    ficvt f0, r1
+        fldi f1, 13
+        fdiv f0, f1
+        fst  [w+r1*8], f0
+        inc  r1
+        cmpi r1, {f1s * 2}
+        jl   .wi
+        fldi f0, 0              ; best
+        movi r2, 0              ; neuron
+.neur:  fldi f2, 0              ; sum
+        movi r1, 0
+.dot:   fld  f3, [w+r1*8]
+        mov  r3, r1
+        add  r3, r2
+        andi r3, {f1s - 1 if (f1s & (f1s - 1)) == 0 else 15}
+        fld  f4, [w+r3*8]
+        fmul f3, f4
+        fadd f2, f3
+        inc  r1
+        cmpi r1, NF1
+        jl   .dot
+        fcmp f2, f0
+        jbe  .notbest
+        fmov f0, f2
+.notbest:
+        inc  r2
+        cmpi r2, NF2
+        jl   .neur
+{_checksum_epilogue()}
+        .data
+w:      .space {f1s * 2 * 8 + 16}
+"""
+
+
+def equake(scale: float) -> str:
+    rows = max(128, int(1024 * scale))
+    iters = max(8, int(30 * scale))
+    return f"""
+        .equ ROWS, {rows}
+        .equ ITERS, {iters}
+        .text
+; Seismic simulation: sparse matrix-vector product (3-band).
+main:   movi r1, 0
+.init:  ficvt f0, r1
+        fldi f1, 1000
+        fdiv f0, f1
+        fst  [x+r1*8], f0
+        inc  r1
+        cmpi r1, ROWS
+        jl   .init
+        movi r7, 0
+.iter:  movi r1, 1
+.row:   fld  f0, [x+r1*8-8]
+        fldi f1, 4
+        fdiv f0, f1
+        fld  f2, [x+r1*8]
+        fldi f3, 2
+        fdiv f2, f3
+        fadd f0, f2
+        cmpi r1, ROWS-2
+        jge  .noright
+        fld  f2, [x+r1*8+8]
+        fldi f3, 4
+        fdiv f2, f3
+        fadd f0, f2
+.noright:
+        fst  [y+r1*8], f0
+        inc  r1
+        cmpi r1, ROWS-1
+        jl   .row
+        ; x <- y
+        movi r1, 1
+.copy:  fld  f0, [y+r1*8]
+        fst  [x+r1*8], f0
+        inc  r1
+        cmpi r1, ROWS-1
+        jl   .copy
+        inc  r7
+        cmpi r7, ITERS
+        jl   .iter
+        fld  f0, [x+{8 * (rows // 2)}]
+        fldi f1, 1000000
+        fmul f0, f1
+{_checksum_epilogue()}
+        .data
+x:      .space {rows * 8 + 16}
+y:      .space {rows * 8 + 16}
+"""
+
+
+def facerec(scale: float) -> str:
+    dim = max(16, int(48 * scale))
+    return f"""
+        .equ DIM, {dim}
+        .text
+; Face recognition: 2D correlation of an image window with a template.
+main:   movi r1, 0
+.init:  mov  r2, r1
+        muli r2, 2654435761
+        shr  r2, 20
+        andi r2, 255
+        ficvt f0, r2
+        fst  [img+r1*8], f0
+        inc  r1
+        cmpi r1, {dim * dim}
+        jl   .init
+        fldi f0, 0
+        movi r1, 0              ; window y
+.wy:    movi r2, 0              ; window x
+.wx:    ; correlate 4x4 at (r1, r2)
+        fldi f2, 0
+        movi r3, 0
+.ty:    movi fp, 0
+.tx:    mov  r6, r1
+        add  r6, r3
+        muli r6, DIM
+        add  r6, r2
+        add  r6, fp
+        fld  f3, [img+r6*8]
+        fld  f4, [tmpl+fp*8]
+        fmul f3, f4
+        fadd f2, f3
+        inc  fp
+        cmpi fp, 4
+        jl   .tx
+        inc  r3
+        cmpi r3, 4
+        jl   .ty
+        fcmp f2, f0
+        jbe  .nomax
+        fmov f0, f2
+.nomax: inc  r2
+        cmpi r2, DIM-4
+        jl   .wx
+        inc  r1
+        cmpi r1, DIM-4
+        jl   .wy
+        fldi f1, 1000
+        fdiv f0, f1
+{_checksum_epilogue()}
+        .data
+tmpl:   .double 1.0, 2.0, 1.0, 0.5
+img:    .space {dim * dim * 8 + 16}
+"""
+
+
+def fma3d(scale: float) -> str:
+    n = max(128, int(1536 * scale))
+    iters = max(6, int(24 * scale))
+    return f"""
+        .equ N, {n}
+        .equ ITERS, {iters}
+        .text
+; Crash simulation: elementwise fused multiply-add sweeps (v = a*x + v).
+main:   movi r1, 0
+.init:  ficvt f0, r1
+        fldi f1, 97
+        fdiv f0, f1
+        fst  [xv+r1*8], f0
+        fldi f0, 0
+        fst  [vv+r1*8], f0
+        inc  r1
+        cmpi r1, N
+        jl   .init
+        movi r7, 0
+.iter:  movi r1, 0
+        fldi f4, 3
+        fldi f5, 100
+        fdiv f4, f5             ; a = 0.03
+.elem:  fld  f0, [xv+r1*8]
+        fmul f0, f4
+        fld  f1, [vv+r1*8]
+        fadd f1, f0
+        fst  [vv+r1*8], f1
+        fld  f0, [xv+r1*8]
+        fadd f0, f1
+        fst  [xv+r1*8], f0
+        inc  r1
+        cmpi r1, N
+        jl   .elem
+        inc  r7
+        cmpi r7, ITERS
+        jl   .iter
+        fld  f0, [xv+16]
+        fabs f0, f0
+        fldi f1, 1
+        fadd f1, f0
+        fmov f0, f1
+        fsqrt f0, f0
+{_checksum_epilogue()}
+        .data
+xv:     .space {n * 8 + 16}
+vv:     .space {n * 8 + 16}
+"""
+
+
+def lucas(scale: float) -> str:
+    n = max(64, int(256 * scale))
+    iters = max(12, int(60 * scale))
+    return f"""
+        .equ N, {n}
+        .equ ITERS, {iters}
+        .text
+; Primality testing via FFT-ish butterfly passes on an FP signal.
+main:   movi r1, 0
+.init:  ficvt f0, r1
+        fldi f1, 16
+        fdiv f0, f1
+        fst  [sig+r1*8], f0
+        inc  r1
+        cmpi r1, N
+        jl   .init
+        movi r7, 0
+.pass:  movi r1, 0
+.bfly:  fld  f0, [sig+r1*8]     ; a
+        fld  f1, [sig+r1*8+8]   ; b
+        fmov f2, f0
+        fadd f2, f1             ; a+b
+        fsub f0, f1             ; a-b
+        fldi f3, 2
+        fdiv f2, f3
+        fdiv f0, f3
+        fst  [sig+r1*8], f2
+        fst  [sig+r1*8+8], f0
+        addi r1, 2
+        cmpi r1, N
+        jl   .bfly
+        inc  r7
+        cmpi r7, ITERS
+        jl   .pass
+        fldi f0, 0
+        movi r1, 0
+.sum:   fld  f1, [sig+r1*8]
+        fabs f1, f1
+        fadd f0, f1
+        inc  r1
+        cmpi r1, N
+        jl   .sum
+{_checksum_epilogue()}
+        .data
+sig:    .space {n * 8 + 16}
+"""
+
+
+def mesa(scale: float) -> str:
+    verts = max(200, int(2600 * scale))
+    return f"""
+        .equ VERTS, {verts}
+        .text
+; 3D graphics: 4x4 matrix * vec4 vertex transforms.
+main:   movi r6, 0              ; vertex index
+        fldi f0, 0              ; running checksum
+.vert:  ; synthesise vertex (x, y, z, 1)
+        ficvt f1, r6            ; x
+        mov  r1, r6
+        xori r1, 0x55
+        ficvt f2, r1            ; y
+        mov  r1, r6
+        andi r1, 31
+        ficvt f3, r1            ; z
+        fldi f4, 100
+        fdiv f1, f4
+        fdiv f2, f4
+        fdiv f3, f4
+        ; rows of the matrix are in mat[]; out_i = m0*x + m1*y + m2*z + m3
+        movi r2, 0              ; row
+.row:   mov  r3, r2
+        muli r3, 4
+        fld  f5, [mat+r3*8]
+        fmul f5, f1
+        fld  f6, [mat+r3*8+8]
+        fmul f6, f2
+        fadd f5, f6
+        fld  f6, [mat+r3*8+16]
+        fmul f6, f3
+        fadd f5, f6
+        fld  f6, [mat+r3*8+24]
+        fadd f5, f6
+        fadd f0, f5
+        inc  r2
+        cmpi r2, 4
+        jl   .row
+        inc  r6
+        cmpi r6, VERTS
+        jl   .vert
+        fldi f1, VERTS
+        fdiv f0, f1
+{_checksum_epilogue()}
+        .data
+mat:    .double 0.5, 0.1, 0.0, 1.0
+        .double 0.0, 0.7, 0.2, 2.0
+        .double 0.3, 0.0, 0.9, 3.0
+        .double 0.0, 0.0, 0.0, 1.0
+"""
+
+
+def mgrid(scale: float) -> str:
+    dim = max(16, int(40 * scale))
+    iters = max(4, int(16 * scale))
+    return f"""
+        .equ DIM, {dim}
+        .equ ITERS, {iters}
+        .text
+; Multigrid: 5-point Jacobi smoothing on a 2D grid.
+main:   movi r1, 0
+.init:  mov  r2, r1
+        muli r2, 31
+        andi r2, 255
+        ficvt f0, r2
+        fst  [grid+r1*8], f0
+        inc  r1
+        cmpi r1, {dim * dim}
+        jl   .init
+        movi r7, 0
+.iter:  movi r1, 1              ; y
+.gy:    movi r2, 1              ; x
+.gx:    mov  r3, r1
+        muli r3, DIM
+        add  r3, r2             ; index
+        fld  f0, [grid+r3*8-8]
+        fld  f1, [grid+r3*8+8]
+        fadd f0, f1
+        mov  r6, r3
+        subi r6, DIM
+        fld  f1, [grid+r6*8]
+        fadd f0, f1
+        mov  r6, r3
+        addi r6, DIM
+        fld  f1, [grid+r6*8]
+        fadd f0, f1
+        fldi f1, 4
+        fdiv f0, f1
+        fst  [out+r3*8], f0
+        inc  r2
+        cmpi r2, DIM-1
+        jl   .gx
+        inc  r1
+        cmpi r1, DIM-1
+        jl   .gy
+        ; copy back interior
+        movi r1, DIM
+.copy:  fld  f0, [out+r1*8]
+        fst  [grid+r1*8], f0
+        inc  r1
+        cmpi r1, {dim * (dim - 1)}
+        jl   .copy
+        inc  r7
+        cmpi r7, ITERS
+        jl   .iter
+        fld  f0, [grid+{8 * (dim * dim // 2 + dim // 2)}]
+{_checksum_epilogue()}
+        .data
+grid:   .space {dim * dim * 8 + 16}
+out:    .space {dim * dim * 8 + 16}
+"""
+
+
+def sixtrack(scale: float) -> str:
+    particles = max(32, int(128 * scale))
+    turns = max(20, int(100 * scale))
+    return f"""
+        .equ PARTICLES, {particles}
+        .equ TURNS, {turns}
+        .text
+; Accelerator physics: rotate particle (x, y) phase-space coordinates.
+main:   movi r1, 0
+.init:  ficvt f0, r1
+        fldi f1, 37
+        fdiv f0, f1
+        fst  [px+r1*8], f0
+        fldi f0, 0
+        fst  [py+r1*8], f0
+        inc  r1
+        cmpi r1, PARTICLES
+        jl   .init
+        fld  f6, [cosv]
+        fld  f7, [sinv]
+        movi r7, 0
+.turn:  movi r1, 0
+.part:  fld  f0, [px+r1*8]
+        fld  f1, [py+r1*8]
+        fmov f2, f0
+        fmul f2, f6             ; x*cos
+        fmov f3, f1
+        fmul f3, f7             ; y*sin
+        fsub f2, f3             ; x'
+        fmov f3, f0
+        fmul f3, f7             ; x*sin
+        fmov f4, f1
+        fmul f4, f6             ; y*cos
+        fadd f3, f4             ; y'
+        fst  [px+r1*8], f2
+        fst  [py+r1*8], f3
+        inc  r1
+        cmpi r1, PARTICLES
+        jl   .part
+        inc  r7
+        cmpi r7, TURNS
+        jl   .turn
+        fld  f0, [px]
+        fabs f0, f0
+        fld  f1, [py+8]
+        fabs f1, f1
+        fadd f0, f1
+{_checksum_epilogue()}
+        .data
+cosv:   .double 0.9950041652780258
+sinv:   .double 0.09983341664682815
+px:     .space {particles * 8 + 16}
+py:     .space {particles * 8 + 16}
+"""
+
+
+def swim(scale: float) -> str:
+    dim = max(16, int(44 * scale))
+    iters = max(4, int(18 * scale))
+    return f"""
+        .equ DIM, {dim}
+        .equ ITERS, {iters}
+        .text
+; Shallow water: two coupled 2D stencils (u, h fields) plus SIMD byte
+; field updates for the boundary masks.
+main:   movi r1, 0
+.init:  mov  r2, r1
+        muli r2, 97
+        andi r2, 127
+        ficvt f0, r2
+        fst  [u+r1*8], f0
+        fldi f0, 10
+        fst  [h+r1*8], f0
+        inc  r1
+        cmpi r1, {dim * dim}
+        jl   .init
+        vsplatb v1, r1          ; SIMD mask update state
+        movi r7, 0
+.iter:  movi r1, 1
+.sy:    movi r2, 1
+.sx:    mov  r3, r1
+        muli r3, DIM
+        add  r3, r2
+        fld  f0, [h+r3*8+8]
+        fld  f1, [h+r3*8-8]
+        fsub f0, f1
+        fldi f2, 2
+        fdiv f0, f2
+        fld  f1, [u+r3*8]
+        fsub f1, f0
+        fst  [u+r3*8], f1
+        inc  r2
+        cmpi r2, DIM-1
+        jl   .sx
+        inc  r1
+        cmpi r1, DIM-1
+        jl   .sy
+        ; SIMD boundary-mask churn
+        vld  v0, [mask]
+        vaddb v0, v1
+        vxor v1, v0
+        vst  [mask], v0
+        inc  r7
+        cmpi r7, ITERS
+        jl   .iter
+        fld  f0, [u+{8 * (dim + 1)}]
+        fabs f0, f0
+{_checksum_epilogue()}
+        .data
+        .align 16
+mask:   .space 16
+u:      .space {dim * dim * 8 + 16}
+h:      .space {dim * dim * 8 + 16}
+"""
+
+
+def wupwise(scale: float) -> str:
+    n = max(48, int(192 * scale))
+    iters = max(8, int(40 * scale))
+    return f"""
+        .equ N, {n}
+        .equ ITERS, {iters}
+        .text
+; Lattice QCD: complex a*b+c over arrays (pairs of doubles).
+main:   movi r1, 0
+.init:  ficvt f0, r1
+        fldi f1, 11
+        fdiv f0, f1
+        fst  [za+r1*8], f0
+        fldi f1, 1
+        fadd f0, f1
+        fst  [zb+r1*8], f0
+        inc  r1
+        cmpi r1, {n * 2}
+        jl   .init
+        movi r7, 0
+.iter:  movi r1, 0
+.cplx:  mov  r2, r1
+        shl  r2, 1              ; re index
+        fld  f0, [za+r2*8]      ; a.re
+        fld  f1, [za+r2*8+8]    ; a.im
+        fld  f2, [zb+r2*8]      ; b.re
+        fld  f3, [zb+r2*8+8]    ; b.im
+        fmov f4, f0
+        fmul f4, f2             ; re*re
+        fmov f5, f1
+        fmul f5, f3             ; im*im
+        fsub f4, f5             ; new re
+        fmul f0, f3             ; re*im
+        fmul f1, f2             ; im*re
+        fadd f0, f1             ; new im
+        fldi f5, 2
+        fdiv f4, f5
+        fdiv f0, f5
+        fst  [za+r2*8], f4
+        fst  [za+r2*8+8], f0
+        inc  r1
+        cmpi r1, N
+        jl   .cplx
+        inc  r7
+        cmpi r7, ITERS
+        jl   .iter
+        fld  f0, [za]
+        fabs f0, f0
+        fld  f1, [za+8]
+        fabs f1, f1
+        fadd f0, f1
+{_checksum_epilogue()}
+        .data
+za:     .space {n * 16 + 16}
+zb:     .space {n * 16 + 16}
+"""

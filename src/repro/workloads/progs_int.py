@@ -1,0 +1,700 @@
+"""The twelve integer workloads (SPEC CPU2000 CINT-shaped kernels).
+
+Each function returns vx32 assembly whose *instruction mix* resembles its
+namesake: compression (bzip2/gzip), bitboards (crafty), pointer chasing
+(mcf), table/graph manipulation (gcc/vortex), string processing
+(parser/perlbmk), annealing (twolf), placement (vpr), group arithmetic
+(gap) and mixed int/FP rendering (eon).  ``scale`` multiplies the inner
+iteration counts; every program ends by printing a checksum with
+``putint`` so runs can be compared across execution engines.
+"""
+
+from __future__ import annotations
+
+
+def bzip2(scale: float) -> str:
+    n = max(256, int(4096 * scale))
+    reps = max(1, int(4 * scale))
+    return f"""
+        .equ N, {n}
+        .equ REPS, {reps}
+        .text
+; Run-length encode buf into out, then decode and checksum: the
+; byte-twiddling inner loops of a compressor.
+main:   movi r6, 0              ; checksum
+        movi r7, 0              ; rep counter
+.fill:  movi r1, 0              ; fill buf with compressible data
+.floop: mov  r2, r1
+        shr  r2, 4
+        andi r2, 15
+        stb  [buf+r1], r2
+        inc  r1
+        cmpi r1, N
+        jl   .floop
+.rep:   ; ---- encode ----
+        movi r1, 0              ; src index
+        movi r2, 0              ; dst index
+.enc:   cmpi r1, N
+        jge  .encdone
+        ldb  r3, [buf+r1]       ; current byte
+        movi r0, 1              ; run length
+.run:   mov  fp, r1
+        add  fp, r0
+        cmpi fp, N
+        jge  .emit
+        ldb  fp, [buf+r1+r0]    ; hmm - can't index twice; recompute
+        cmp  fp, r3
+        jne  .emit
+        inc  r0
+        cmpi r0, 255
+        jl   .run
+.emit:  stb  [out+r2], r0
+        inc  r2
+        stb  [out+r2], r3
+        inc  r2
+        add  r1, r0
+        jmp  .enc
+.encdone:
+        ; ---- decode + checksum ----
+        movi r1, 0              ; enc index
+        movi r3, 0              ; decoded count
+.dec:   cmp  r1, r2
+        jge  .decdone
+        ldb  r0, [out+r1]       ; run length
+        inc  r1
+        ldb  fp, [out+r1]       ; byte
+        inc  r1
+.dloop: add  r6, fp
+        rol  r6, 1
+        inc  r3
+        dec  r0
+        jnz  .dloop
+        jmp  .dec
+.decdone:
+        add  r6, r3
+        inc  r7
+        cmpi r7, REPS
+        jl   .rep
+        push r6
+        call putint
+        addi sp, 4
+        movi r0, 0
+        ret
+        .data
+buf:    .space {n}
+out:    .space {2 * n + 16}
+"""
+
+
+def crafty(scale: float) -> str:
+    iters = max(500, int(12000 * scale))
+    return f"""
+        .equ ITERS, {iters}
+        .text
+; Bitboard manipulation: shifts, masks, popcounts — a chess engine's
+; move-generation inner loop.
+main:   movi r6, 0x12345678     ; "bitboard"
+        movi r7, 0              ; checksum
+        movi r1, 0
+.loop:  mov  r2, r6
+        shl  r2, 1
+        andi r2, 0xFEFEFEFE     ; shift file, mask wrap
+        mov  r3, r6
+        shr  r3, 1
+        andi r3, 0x7F7F7F7F
+        or   r2, r3             ; attacks
+        xor  r6, r2
+        rol  r6, 7
+        ; popcount of r2
+        movi r0, 0
+.pop:   test r2, r2
+        jz   .popdone
+        mov  r3, r2
+        dec  r3
+        and  r2, r3             ; clear lowest set bit
+        inc  r0
+        jmp  .pop
+.popdone:
+        add  r7, r0
+        add  r6, r1
+        inc  r1
+        cmpi r1, ITERS
+        jl   .loop
+        push r7
+        call putint
+        addi sp, 4
+        movi r0, 0
+        ret
+"""
+
+
+def eon(scale: float) -> str:
+    iters = max(300, int(4000 * scale))
+    return f"""
+        .equ ITERS, {iters}
+        .text
+; Mixed int/FP: ray-sphere intersection tests (eon is a renderer).
+main:   movi r7, 0              ; hit counter
+        movi r1, 0
+        fldi f7, 100            ; sphere radius^2
+.loop:  mov  r2, r1
+        muli r2, 1103515245
+        addi r2, 12345
+        andi r2, 0x7FFF
+        subi r2, 16384
+        ficvt f0, r2            ; ox
+        mov  r3, r1
+        muli r3, 69069
+        addi r3, 1
+        andi r3, 0x7FFF
+        subi r3, 16384
+        ficvt f1, r3            ; oy
+        fldi f2, 1000
+        fdiv f0, f2
+        fdiv f1, f2
+        fmov f3, f0
+        fmul f3, f0             ; ox^2
+        fmov f4, f1
+        fmul f4, f1             ; oy^2
+        fadd f3, f4             ; |o|^2
+        fcmp f3, f7
+        jnb  .miss              ; outside
+        inc  r7
+.miss:  inc  r1
+        cmpi r1, ITERS
+        jl   .loop
+        push r7
+        call putint
+        addi sp, 4
+        movi r0, 0
+        ret
+"""
+
+
+def gap(scale: float) -> str:
+    iters = max(400, int(6000 * scale))
+    return f"""
+        .equ ITERS, {iters}
+        .equ P, 97
+        .text
+; Computational group theory: permutation composition + modular powers.
+main:   ; initialise perm[i] = (i*7+3) mod 31
+        movi r1, 0
+.init:  mov  r2, r1
+        muli r2, 7
+        addi r2, 3
+        movi r3, 31
+        mov  r0, r2
+        modu r0, r3
+        stb  [perm+r1], r0
+        inc  r1
+        cmpi r1, 31
+        jl   .init
+        movi r6, 0              ; checksum
+        movi r7, 0
+.loop:  ; compose perm with itself: q[i] = perm[perm[i]]
+        movi r1, 0
+.comp:  ldb  r2, [perm+r1]
+        ldb  r3, [perm+r2]
+        stb  [q+r1], r3
+        inc  r1
+        cmpi r1, 31
+        jl   .comp
+        ; copy q back, accumulating a modular power
+        movi r1, 0
+        movi r0, 1
+.back:  ldb  r2, [q+r1]
+        stb  [perm+r1], r2
+        mul  r0, r2
+        movi r3, P
+        modu r0, r3
+        inc  r1
+        cmpi r1, 31
+        jl   .back
+        add  r6, r0
+        inc  r7
+        cmpi r7, ITERS
+        jl   .loop
+        push r6
+        call putint
+        addi sp, 4
+        movi r0, 0
+        ret
+        .data
+perm:   .space 32
+q:      .space 32
+"""
+
+
+def gcc(scale: float) -> str:
+    n = max(64, int(512 * scale))
+    passes = max(4, int(24 * scale))
+    return f"""
+        .equ N, {n}
+        .equ PASSES, {passes}
+        .text
+; Compiler-ish: build a hash table of "symbols" on the heap, then walk a
+; linked worklist (chains of pointers) doing constant folding.
+main:   pushi {n * 8}
+        call malloc             ; node array: (value, next) pairs
+        addi sp, 4
+        mov  r6, r0             ; base
+        ; link node i -> (i*17+11) mod N, value = i^0x5a
+        movi r1, 0
+.build: mov  r2, r1
+        xori r2, 0x5a
+        mov  r3, r1
+        shl  r3, 3
+        add  r3, r6
+        st   [r3], r2           ; value
+        mov  r2, r1
+        muli r2, 17
+        addi r2, 11
+        movi r0, N
+        modu r2, r0
+        shl  r2, 3
+        add  r2, r6             ; ptr to successor
+        st   [r3+4], r2
+        inc  r1
+        cmpi r1, N
+        jl   .build
+        ; walk the chain PASSES*N steps, folding values
+        movi r7, 0              ; checksum
+        mov  r1, r6             ; cursor
+        movi r2, 0
+        movi r3, PASSES
+        mul  r3, r2             ; dummy
+        movi r2, 0
+.walk:  ld   r3, [r1]           ; value
+        add  r7, r3
+        rol  r7, 3
+        ld   r1, [r1+4]         ; next
+        inc  r2
+        movi r0, PASSES
+        muli r0, N
+        cmp  r2, r0
+        jl   .walk
+        push r6
+        call free
+        addi sp, 4
+        push r7
+        call putint
+        addi sp, 4
+        movi r0, 0
+        ret
+"""
+
+
+def gzip(scale: float) -> str:
+    n = max(512, int(6144 * scale))
+    return f"""
+        .equ N, {n}
+        .text
+; LZ-ish: hash-chain match finding over a text buffer.
+main:   ; synthesise input: repeating-ish text
+        movi r1, 0
+.fill:  mov  r2, r1
+        muli r2, 2654435761
+        shr  r2, 24
+        andi r2, 63
+        addi r2, 32
+        stb  [buf+r1], r2
+        inc  r1
+        cmpi r1, N
+        jl   .fill
+        ; clear hash heads
+        movi r1, 0
+.clr:   sti  [heads+r1*4], 0xFFFFFFFF
+        inc  r1
+        cmpi r1, 256
+        jl   .clr
+        movi r6, 0              ; total match length (checksum)
+        movi r1, 0              ; position
+.scan:  ldb  r2, [buf+r1]
+        ldb  r3, [buf+r1+1]
+        shl  r3, 4
+        xor  r2, r3
+        andi r2, 255            ; hash
+        ld   r3, [heads+r2*4]   ; previous position with this hash
+        st   [heads+r2*4], r1
+        cmpi r3, 0xFFFFFFFF
+        je   .next
+        ; measure match length between r1 and r3 (max 8)
+        movi r0, 0
+.match: cmpi r0, 8
+        jge  .mdone
+        ldb  r7, [buf+r3+r0]
+        ldb  fp, [buf+r1+r0]
+        cmp  r7, fp
+        jne  .mdone
+        inc  r0
+        jmp  .match
+.mdone: add  r6, r0
+.next:  inc  r1
+        cmpi r1, N-9
+        jl   .scan
+        push r6
+        call putint
+        addi sp, 4
+        movi r0, 0
+        ret
+        .data
+heads:  .space 1024
+buf:    .space {n + 16}
+"""
+
+
+def mcf(scale: float) -> str:
+    nodes = max(256, int(2048 * scale))
+    steps = max(2000, int(40000 * scale))
+    return f"""
+        .equ NODES, {nodes}
+        .equ STEPS, {steps}
+        .text
+; Network flow: cache-hostile pointer chasing with potential updates.
+main:   pushi {nodes * 12}
+        call malloc             ; nodes: (next, potential, flow)
+        addi sp, 4
+        mov  r6, r0
+        movi r1, 0
+.build: mov  r2, r1
+        muli r2, 40503
+        addi r2, 1299721
+        movi r3, NODES
+        modu r2, r3
+        muli r2, 12
+        add  r2, r6             ; successor address
+        mov  r3, r1
+        muli r3, 12
+        add  r3, r6
+        st   [r3], r2
+        mov  r0, r1
+        xori r0, 0x33
+        st   [r3+4], r0         ; potential
+        sti  [r3+8], 0
+        inc  r1
+        cmpi r1, NODES
+        jl   .build
+        mov  r1, r6             ; cursor
+        movi r7, 0              ; checksum
+        movi r2, 0
+.chase: ld   r3, [r1+4]         ; potential
+        add  r7, r3
+        ld   r0, [r1+8]
+        inc  r0
+        st   [r1+8], r0         ; flow update
+        ld   r1, [r1]           ; follow arc
+        inc  r2
+        cmpi r2, STEPS
+        jl   .chase
+        push r6
+        call free
+        addi sp, 4
+        push r7
+        call putint
+        addi sp, 4
+        movi r0, 0
+        ret
+"""
+
+
+def parser(scale: float) -> str:
+    reps = max(20, int(260 * scale))
+    return f"""
+        .equ REPS, {reps}
+        .text
+; Natural-language-ish: tokenise a sentence buffer, classify words with
+; strcmp against a small dictionary, build counts.  The cursor lives in
+; fp (callee-saved) because strcmp/strlen clobber r0-r3/r6/r7.
+main:   sti  [score], 0
+        sti  [rep], 0
+.rep:   movi fp, text
+.tok:   ldb  r2, [fp]
+        test r2, r2
+        jz   .repdone
+        cmpi r2, 32             ; skip spaces
+        jne  .word
+        inc  fp
+        jmp  .tok
+.word:  mov  r2, fp             ; word start
+.find:  ldb  r3, [fp]
+        test r3, r3
+        jz   .clas
+        cmpi r3, 32
+        je   .clas
+        inc  fp
+        jmp  .find
+.clas:  ; copy word to wbuf (NUL-terminate)
+        mov  r3, r2
+        movi r0, 0
+.copy:  cmp  r3, fp
+        jge  .copied
+        ldb  r6, [r3]
+        stb  [wbuf+r0], r6
+        inc  r3
+        inc  r0
+        jmp  .copy
+.copied:
+        movi r3, 0
+        stb  [wbuf+r0], r3
+        pushi dict0
+        pushi wbuf
+        call strcmp
+        addi sp, 8
+        test r0, r0
+        jnz  .try1
+        ld   r1, [score]
+        inc  r1
+        st   [score], r1
+        jmp  .tok
+.try1:  pushi dict1
+        pushi wbuf
+        call strcmp
+        addi sp, 8
+        test r0, r0
+        jnz  .try2
+        ld   r1, [score]
+        addi r1, 100
+        st   [score], r1
+        jmp  .tok
+.try2:  pushi wbuf
+        call strlen
+        addi sp, 4
+        ld   r1, [score]
+        add  r1, r0
+        st   [score], r1
+        jmp  .tok
+.repdone:
+        ld   r1, [rep]
+        inc  r1
+        st   [rep], r1
+        cmpi r1, REPS
+        jl   .rep
+        ld   r1, [score]
+        push r1
+        call putint
+        addi sp, 4
+        movi r0, 0
+        ret
+        .data
+score:  .word 0
+rep:    .word 0
+text:   .asciz "the cat sat on the mat and the dog ran to the cat with a hat"
+dict0:  .asciz "the"
+dict1:  .asciz "cat"
+wbuf:   .space 32
+"""
+
+
+def perlbmk(scale: float) -> str:
+    reps = max(30, int(400 * scale))
+    return f"""
+        .equ REPS, {reps}
+        .text
+; Scripting-ish: naive pattern matching (the regex engine's hot loop).
+main:   movi r7, 0
+        movi r6, 0
+.rep:   movi r1, 0              ; text index
+.outer: ldb  r2, [text+r1]
+        test r2, r2
+        jz   .repdone
+        movi r3, 0              ; pattern index
+.inner: ldb  r0, [pat+r3]
+        test r0, r0
+        jz   .found
+        ldb  fp, [text+r1+r3]
+        cmp  fp, r0
+        jne  .advance
+        inc  r3
+        jmp  .inner
+.found: inc  r7
+.advance:
+        inc  r1
+        jmp  .outer
+.repdone:
+        inc  r6
+        cmpi r6, REPS
+        jl   .rep
+        push r7
+        call putint
+        addi sp, 4
+        movi r0, 0
+        ret
+        .data
+text:   .asciz "abcabcababcabcabababcababababcabcababababababcabcabc"
+pat:    .asciz "abab"
+"""
+
+
+def twolf(scale: float) -> str:
+    iters = max(800, int(16000 * scale))
+    return f"""
+        .equ ITERS, {iters}
+        .equ CELLS, 64
+        .text
+; Place-and-route annealing: random cell swaps with cost recomputation.
+main:   movi r1, 0
+.init:  mov  r2, r1
+        muli r2, 13
+        andi r2, 0xFF
+        st   [pos+r1*4], r2
+        inc  r1
+        cmpi r1, CELLS
+        jl   .init
+        movi r6, 12345          ; LCG state
+        movi r7, 0              ; accepted swaps (checksum)
+        movi fp, 0              ; iteration
+.loop:  muli r6, 1103515245
+        addi r6, 12345
+        mov  r1, r6
+        shr  r1, 16
+        andi r1, 63             ; cell a
+        muli r6, 69069
+        addi r6, 1
+        mov  r2, r6
+        shr  r2, 16
+        andi r2, 63             ; cell b
+        ld   r3, [pos+r1*4]
+        ld   r0, [pos+r2*4]
+        ; delta = |a - b| heuristic: accept if (a ^ b) & 1
+        mov  r6, r3
+        xor  r6, r0
+        test r6, r6
+        mov  r6, r3             ; recover LCG state clobber: redo seed mix
+        xor  r6, r0
+        andi r6, 1
+        jz   .reject
+        st   [pos+r1*4], r0     ; swap
+        st   [pos+r2*4], r3
+        inc  r7
+.reject:
+        mov  r6, r3
+        muli r6, 2654435761
+        xor  r6, r0
+        addi r6, 97
+        inc  fp
+        cmpi fp, ITERS
+        jl   .loop
+        push r7
+        call putint
+        addi sp, 4
+        movi r0, 0
+        ret
+        .data
+pos:    .space 256
+"""
+
+
+def vortex(scale: float) -> str:
+    ops = max(200, int(2600 * scale))
+    return f"""
+        .equ OPS, {ops}
+        .equ BUCKETS, 64
+        .text
+; Object database: hashed insert/lookup of heap records.
+main:   movi r1, 0
+.clr:   sti  [table+r1*4], 0
+        inc  r1
+        cmpi r1, BUCKETS
+        jl   .clr
+        movi r6, 0              ; op counter
+        movi r7, 0              ; checksum
+.loop:  mov  r1, r6
+        muli r1, 2654435761
+        shr  r1, 8
+        andi r1, 63             ; bucket
+        mov  r2, r6
+        andi r2, 3
+        cmpi r2, 3
+        je   .lookup
+        ; insert: node = malloc(12): (key, value, next)
+        pushi 12
+        call malloc
+        addi sp, 4
+        st   [r0], r6           ; key
+        mov  r2, r6
+        xori r2, 0xABCD
+        st   [r0+4], r2         ; value
+        ld   r3, [table+r1*4]
+        st   [r0+8], r3         ; next = head
+        st   [table+r1*4], r0   ; head = node
+        jmp  .next
+.lookup:
+        ld   r2, [table+r1*4]
+.chain: test r2, r2
+        jz   .next
+        ld   r3, [r2]
+        cmp  r3, r6
+        je   .hit
+        ld   r2, [r2+8]
+        jmp  .chain
+.hit:   ld   r3, [r2+4]
+        add  r7, r3
+.next:  inc  r6
+        cmpi r6, OPS
+        jl   .loop
+        ; free all chains
+        movi r1, 0
+.fall:  ld   r2, [table+r1*4]
+.fchain:
+        test r2, r2
+        jz   .fnext
+        ld   r3, [r2+8]
+        push r3
+        push r2
+        call free
+        addi sp, 4
+        pop  r2
+        jmp  .fchain
+.fnext: inc  r1
+        cmpi r1, BUCKETS
+        jl   .fall
+        push r7
+        call putint
+        addi sp, 4
+        movi r0, 0
+        ret
+        .data
+table:  .space 256
+"""
+
+
+def vpr(scale: float) -> str:
+    iters = max(600, int(10000 * scale))
+    return f"""
+        .equ ITERS, {iters}
+        .text
+; FPGA placement: wirelength cost over net bounding boxes.
+main:   movi r7, 0
+        movi r6, 0
+.loop:  mov  r1, r6
+        muli r1, 75
+        andi r1, 31             ; x1
+        mov  r2, r6
+        muli r2, 31
+        andi r2, 31             ; x2
+        mov  r3, r1
+        sub  r3, r2
+        jnl  .absok             ; if x1-x2 >= 0
+        neg  r3
+.absok: mov  r0, r6
+        muli r0, 29
+        andi r0, 31
+        mov  fp, r6
+        muli fp, 17
+        andi fp, 31
+        sub  r0, fp
+        jnl  .absok2
+        neg  r0
+.absok2:
+        add  r3, r0             ; manhattan distance
+        add  r7, r3
+        inc  r6
+        cmpi r6, ITERS
+        jl   .loop
+        push r7
+        call putint
+        addi sp, 4
+        movi r0, 0
+        ret
+"""

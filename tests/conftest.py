@@ -1,0 +1,27 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from helpers import asm_image, native, vg
+
+
+@pytest.fixture
+def run_both():
+    """Run a program natively and under a tool; assert identical output."""
+
+    def _run(source: str, tool: str = "none", **kw):
+        img = asm_image(source)
+        nat = native(img, **{k: v for k, v in kw.items() if k in ("argv", "stdin")})
+        res = vg(img, tool, **kw)
+        assert res.exit_code == nat.exit_code, (
+            f"exit codes differ: native {nat.exit_code} vs {tool} {res.exit_code}"
+        )
+        assert res.stdout == nat.stdout, (
+            f"stdout differs under {tool}:\n  native: {nat.stdout!r}\n"
+            f"  tooled: {res.stdout!r}"
+        )
+        return nat, res
+
+    return _run

@@ -1,0 +1,34 @@
+"""Shared helper functions for the test suite."""
+
+from __future__ import annotations
+
+from repro import Options, assemble, build_source, run_native, run_tool
+from repro.guest.program import VxImage
+
+
+def asm_image(source: str, *, with_libc: bool = True, name: str = "test") -> VxImage:
+    """Assemble a test program (with the libc prelude by default)."""
+    return assemble(build_source(source, with_libc=with_libc), filename=name)
+
+
+def native(source_or_image, *, argv=None, stdin: bytes = b"", max_insns=20_000_000):
+    img = (
+        source_or_image
+        if isinstance(source_or_image, VxImage)
+        else asm_image(source_or_image)
+    )
+    return run_native(img, argv, stdin=stdin, max_insns=max_insns)
+
+
+def vg(source_or_image, tool: str = "none", *, argv=None, stdin: bytes = b"",
+       options: Options = None, **opt_kw):
+    img = (
+        source_or_image
+        if isinstance(source_or_image, VxImage)
+        else asm_image(source_or_image)
+    )
+    if options is None:
+        options = Options(log_target="capture", **opt_kw)
+    return run_tool(tool, img, argv, options=options, stdin=stdin)
+
+

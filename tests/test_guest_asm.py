@@ -1,0 +1,166 @@
+"""Assembler tests: syntax, directives, fixups, errors."""
+
+import pytest
+
+from repro.guest.asm import AsmError, assemble
+from repro.guest.encoding import decode
+
+
+def _decode_all(img):
+    seg = img.text_segment
+    out = []
+    addr = seg.addr
+    while addr < seg.end:
+        insn = decode(seg.data, addr - seg.addr, addr)
+        out.append(insn)
+        addr += insn.length
+    return out
+
+
+class TestBasics:
+    def test_labels_and_symbols(self):
+        img = assemble("a: nop\nb: nop\n")
+        assert img.symbols["b"] == img.symbols["a"] + 1
+
+    def test_entry_defaults_to_start_symbol(self):
+        img = assemble("  nop\n_start: halt\n")
+        assert img.entry == img.symbols["_start"]
+
+    def test_comments_and_blank_lines(self):
+        img = assemble("; comment\n\nnop // trailing\n  ; another\n")
+        assert len(_decode_all(img)) == 1
+
+    def test_label_and_insn_on_one_line(self):
+        img = assemble("x: nop\n")
+        assert "x" in img.symbols
+
+    def test_char_literal(self):
+        img = assemble("movi r0, 'A'\n")
+        assert _decode_all(img)[0].operands[1].value == 65
+
+    def test_negative_immediate(self):
+        img = assemble("movi r0, -1\n")
+        assert _decode_all(img)[0].operands[1].value == 0xFFFFFFFF
+
+
+class TestGenericMnemonics:
+    def test_alu_form_selection(self):
+        img = assemble(
+            "add r0, r1\nadd r0, 5\nadd r0, [r1+4]\nadd [r1], r0\n"
+        )
+        names = [i.mnemonic for i in _decode_all(img)]
+        assert names == ["add", "addi", "addm_", "addm"]
+
+    def test_mov_forms(self):
+        img = assemble("mov r0, r1\nmov r0, 7\n")
+        assert [i.mnemonic for i in _decode_all(img)] == ["mov", "movi"]
+
+    def test_shift_forms(self):
+        img = assemble("shl r0, 3\nshl r0, r1\n")
+        assert [i.mnemonic for i in _decode_all(img)] == ["shli", "shl"]
+
+    def test_jcc_synonyms(self):
+        img = assemble("x: jne x\n jltu x\n jz x\n")
+        conds = [i.operands[0].code for i in _decode_all(img)]
+        assert conds == [0x1, 0x2, 0x0]
+
+    def test_setcc(self):
+        img = assemble("setz r0\nsetgt r1\n")
+        insns = _decode_all(img)
+        assert insns[0].mnemonic == "setcc"
+        assert insns[0].operands[1].code == 0x0
+
+    def test_push_call_jmp_register_forms(self):
+        img = assemble("x: push 5\n call r1\n jmp r2\n call x\n jmp x\n")
+        names = [i.mnemonic for i in _decode_all(img)]
+        assert names == ["pushi", "callr", "jmpr", "call", "jmp"]
+
+
+class TestMemoryOperands:
+    def test_addressing_modes(self):
+        img = assemble(
+            "ld r0, [r1]\nld r0, [r1+8]\nld r0, [r1+r2*4]\n"
+            "ld r0, [r1+r2*4+12]\nld r0, [0x2000]\nld r0, [r1-4]\n"
+        )
+        mems = [i.operands[1] for i in _decode_all(img)]
+        assert (mems[0].base, mems[0].disp) == (1, 0)
+        assert mems[1].disp == 8
+        assert (mems[2].index, mems[2].scale) == (2, 4)
+        assert mems[3].disp == 12
+        assert (mems[4].base, mems[4].disp) == (None, 0x2000)
+        assert mems[5].disp == 0xFFFFFFFC  # -4 wrapped
+
+    def test_symbol_in_memory_operand(self):
+        img = assemble("x: ld r0, [buf+r1*2+4]\n.data\nbuf: .word 0\n")
+        mem = _decode_all(img)[0].operands[1]
+        assert mem.disp == img.symbols["buf"] + 4
+
+
+class TestDirectives:
+    def test_data_directives(self):
+        img = assemble(
+            ".data\nb: .byte 1, 2, 255\nw: .word 0x1234, sym\n"
+            "s: .asciz \"hi\\n\"\nz: .space 5\n.align 8\nq: .double 1.5\n"
+            "sym: .word 0\n"
+        )
+        data = img.segments[-1]
+        base = data.addr
+        assert data.data[:3] == b"\x01\x02\xff"
+        woff = img.symbols["w"] - base
+        assert data.data[woff : woff + 4] == (0x1234).to_bytes(4, "little")
+        # the second word holds sym's address (a fixup)
+        got = int.from_bytes(data.data[woff + 4 : woff + 8], "little")
+        assert got == img.symbols["sym"]
+        assert data.data[img.symbols["s"] - base :][:4] == b"hi\n\x00"
+        assert img.symbols["q"] % 8 == 0
+
+    def test_equ(self):
+        img = assemble(".equ K, 42\nmovi r0, K\nmovi r1, K+1\n")
+        insns = _decode_all(img)
+        assert insns[0].operands[1].value == 42
+        assert insns[1].operands[1].value == 43
+
+    def test_text_data_separate_segments(self):
+        img = assemble("nop\n.data\nx: .word 1\n")
+        assert len(img.segments) == 2
+        text, data = img.segments
+        assert "x" in text.perms or data.addr > text.end - 1
+        assert "w" in data.perms and "x" in text.perms
+
+
+class TestErrors:
+    def test_undefined_symbol(self):
+        with pytest.raises(AsmError, match="undefined symbol"):
+            assemble("jmp nowhere\n")
+
+    def test_duplicate_label(self):
+        with pytest.raises(AsmError, match="redefined"):
+            assemble("a: nop\na: nop\n")
+
+    def test_wrong_operand_kind(self):
+        with pytest.raises(AsmError, match="expected integer register"):
+            assemble("pop 5\n")
+
+    def test_instructions_in_data_section(self):
+        with pytest.raises(AsmError, match="outside .text"):
+            assemble(".data\nnop\n")
+
+    def test_bad_align(self):
+        with pytest.raises(AsmError, match="power of two"):
+            assemble(".align 3\n")
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(AsmError, match="f.s:2"):
+            assemble("nop\nbogus_mnemonic r0\n", filename="f.s")
+
+
+class TestDebugInfo:
+    def test_line_info_recorded(self):
+        img = assemble("nop\nnop\n", filename="prog.s")
+        li = img.line_at(img.entry + 1)
+        assert li is not None and li.line == 2 and li.filename == "prog.s"
+
+    def test_symbol_at(self):
+        img = assemble("f: nop\nnop\ng: nop\n")
+        assert img.symbol_at(img.symbols["f"] + 1) == ("f", 1)
+        assert img.symbol_at(img.symbols["g"]) == ("g", 0)

@@ -1,0 +1,110 @@
+"""Encoder/decoder tests, including a full round-trip property over the
+whole instruction set."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.guest.encoding import DecodeError, decode, encode, insn_length
+from repro.guest.isa import (
+    Cond,
+    FReg,
+    Imm,
+    Insn,
+    Mem,
+    OpKind,
+    Reg,
+    VReg,
+    all_mnemonics,
+    insn_def,
+)
+
+
+def _operand_strategy(kind: OpKind):
+    if kind is OpKind.GPR:
+        return st.builds(Reg, st.integers(0, 7))
+    if kind is OpKind.FREG:
+        return st.builds(FReg, st.integers(0, 7))
+    if kind is OpKind.VREG:
+        return st.builds(VReg, st.integers(0, 7))
+    if kind is OpKind.COND:
+        return st.builds(Cond, st.integers(0, 13))
+    if kind is OpKind.IMM8:
+        return st.builds(Imm, st.integers(0, 255))
+    if kind in (OpKind.IMM32, OpKind.REL32):
+        return st.builds(Imm, st.integers(0, 0xFFFFFFFF))
+    if kind is OpKind.MEM:
+        return st.builds(
+            Mem,
+            base=st.one_of(st.none(), st.integers(0, 7)),
+            index=st.one_of(st.none(), st.integers(0, 7)),
+            scale=st.sampled_from([1, 2, 4, 8]),
+            disp=st.integers(0, 0xFFFFFFFF),
+        )
+    raise AssertionError(kind)
+
+
+@st.composite
+def instructions(draw):
+    mnemonic = draw(st.sampled_from(all_mnemonics()))
+    d = insn_def(mnemonic)
+    operands = tuple(draw(_operand_strategy(k)) for k in d.operands)
+    addr = draw(st.integers(0, 0xFFFF0000)) & ~0
+    return Insn(mnemonic, operands, addr=addr)
+
+
+@given(instructions())
+def test_encode_decode_roundtrip(insn):
+    raw = encode(insn)
+    assert len(raw) == insn_length(insn.mnemonic, insn.operands)
+    back = decode(raw, 0, insn.addr)
+    assert back.mnemonic == insn.mnemonic
+    assert back.length == len(raw)
+    for kind, a, b in zip(insn.idef.operands, insn.operands, back.operands):
+        if kind is OpKind.REL32:
+            # Displacements are relative: targets round-trip mod 2^32.
+            assert b.value == a.value & 0xFFFFFFFF
+        elif kind is OpKind.MEM:
+            assert (a.base, a.index, a.disp) == (b.base, b.index, b.disp)
+            if a.index is not None:
+                assert a.scale == b.scale
+        else:
+            assert a == b
+
+
+def test_variable_lengths():
+    assert insn_length("nop", ()) == 1
+    assert insn_length("movi", (Reg(0), Imm(1))) == 6
+    # The classic Figure-1 shape: a load with base+disp is 7 bytes.
+    assert insn_length("ld", (Reg(0), Mem(base=3, disp=0x10))) == 7
+    # Largest form: ALU reg, [base+index*scale+disp].
+    assert insn_length("addm_", (Reg(0), Mem(base=1, index=2, scale=4, disp=1))) == 8
+
+
+def test_bad_opcode_rejected():
+    with pytest.raises(DecodeError, match="bad opcode"):
+        decode(b"\xff", 0, 0)
+
+
+def test_truncated_rejected():
+    raw = encode(Insn("movi", (Reg(0), Imm(0x12345678))))
+    with pytest.raises(DecodeError, match="truncated"):
+        decode(raw[:3], 0, 0)
+
+
+def test_bad_register_rejected():
+    raw = bytearray(encode(Insn("mov", (Reg(0), Reg(1)))))
+    raw[1] = 9
+    with pytest.raises(DecodeError, match="bad register"):
+        decode(bytes(raw), 0, 0)
+
+
+def test_rel32_is_relative_to_insn_end():
+    insn = Insn("jmp", (Imm(0x1000),), addr=0x2000)
+    raw = encode(insn)
+    rel = int.from_bytes(raw[1:5], "little")
+    assert (0x2000 + len(raw) + rel) & 0xFFFFFFFF == 0x1000
+
+
+def test_jcc_str_uses_condition_synonyms():
+    insn = Insn("jcc", (Cond(0x8), Imm(0x30)))
+    assert str(insn).startswith("jl ")

@@ -1,0 +1,239 @@
+"""Deep integration tests: tool + core feature interactions the paper
+calls out as the hard cases — shadow state across mremap, threads,
+signals; suppressions end-to-end; trace output."""
+
+import pytest
+
+from repro import Options, Valgrind
+
+from helpers import asm_image, native, vg
+
+
+class TestMemcheckWithMemorySyscalls:
+    def test_mremap_copies_shadow_state(self, run_both):
+        """R6: "mremap can cause memory values to be copied, in which case
+        the corresponding shadow memory values may have to be copied as
+        well" — a moved mapping keeps both its data and its definedness."""
+        src = """
+        .text
+main:   movi r0, 7           ; mmap(0, 4096)
+        movi r1, 0
+        movi r2, 4096
+        movi r3, 6
+        syscall
+        mov  r6, r0
+        sti  [r6], 0xABCD     ; initialise the first word only
+        movi r0, 7            ; mmap the next page to force mremap to move
+        mov  r1, r6
+        addi r1, 4096
+        movi r2, 4096
+        movi r3, 6
+        syscall
+        movi r0, 9            ; mremap(r6, 4096, 16384)
+        mov  r1, r6
+        movi r2, 4096
+        movi r3, 16384
+        syscall
+        mov  r6, r0           ; the moved block
+        ld   r1, [r6]         ; defined: shadow was copied with the data
+        push r1
+        call putint
+        addi sp, 4
+        ld   r2, [r6+4]       ; the undefined word moved too
+        cmpi r2, 0
+        je   x
+x:      movi r0, 0
+        ret
+"""
+        # Plant an *undefined* value at [r6+4] before the move: splice an
+        # uninitialised stack read + store after the first mmap.
+        src = src.replace(
+            "        sti  [r6], 0xABCD     ; initialise the first word only\n",
+            "        sti  [r6], 0xABCD     ; initialise the first word only\n"
+            "        subi sp, 8\n"
+            "        ld   r1, [sp]         ; undefined\n"
+            "        addi sp, 8\n"
+            "        st   [r6+4], r1       ; [r6+4] is now undefined\n",
+        )
+        nat, res = run_both(src, tool="memcheck")
+        assert nat.stdout.strip() == str(0xABCD)
+        kinds = [e.kind for e in res.errors]
+        # Exactly one complaint: the branch on the still-undefined word the
+        # mremap moved; the defined word stayed defined.
+        assert kinds == ["UninitCondition"]
+
+    def test_munmap_makes_memory_unaddressable(self):
+        src = """
+        .text
+main:   movi r0, 7
+        movi r1, 0
+        movi r2, 4096
+        movi r3, 3
+        syscall
+        mov  r6, r0
+        sti  [r6], 1
+        movi r0, 8           ; munmap
+        mov  r1, r6
+        movi r2, 4096
+        syscall
+        ld   r1, [r6]        ; faults (and Memcheck flags it first)
+        ret
+"""
+        res = vg(src, "memcheck")
+        assert res.outcome.fatal_signal == 11
+        assert "InvalidRead" in [e.kind for e in res.errors]
+
+
+class TestMemcheckWithThreads:
+    def test_thread_stacks_and_shadow_state(self, run_both):
+        """Shadow loads/stores must stay consistent across thread switches
+        (the serialisation guarantee of Section 3.14)."""
+        src = """
+        .text
+main:   movi  r0, 14
+        movi  r1, worker
+        movi  r2, 0
+        movi  r3, 100
+        syscall
+        mov   r6, r0
+        movi  r2, 0
+        movi  r3, 50
+mloop:  add   r2, r3
+        dec   r3
+        jnz   mloop
+        mov   r1, r6
+        movi  r0, 16          ; join
+        syscall
+        add   r0, r2
+        push  r0
+        call  putint
+        addi  sp, 4
+        movi  r0, 0
+        ret
+worker: ld    r1, [sp+4]
+        movi  r2, 0
+        movi  r3, 50
+wloop:  add   r2, r1
+        dec   r3
+        jnz   wloop
+        mov   r1, r2
+        movi  r0, 15
+        syscall
+        halt
+"""
+        nat, res = run_both(src, tool="memcheck",
+                            options=Options(log_target="capture",
+                                            thread_timeslice=7))
+        assert nat.stdout.strip() == str(100 * 50 + sum(range(1, 51)))
+        assert res.errors == []
+
+    def test_uninitialised_read_from_other_threads_stack(self):
+        src = """
+        .text
+main:   movi  r0, 14
+        movi  r1, worker
+        movi  r2, 0
+        movi  r3, 1
+        syscall
+        mov   r1, r0
+        movi  r0, 16
+        syscall
+        movi  r0, 0
+        ret
+worker: subi  sp, 16
+        ld    r1, [sp+8]     ; fresh (undefined) thread-stack slot
+        addi  sp, 16
+        cmpi  r1, 0
+        je    w1
+w1:     movi  r1, 0
+        movi  r0, 15
+        syscall
+        halt
+"""
+        res = vg(src, "memcheck")
+        assert "UninitCondition" in [e.kind for e in res.errors]
+
+
+class TestMemcheckWithSignals:
+    def test_signal_frame_is_defined(self, run_both):
+        """Signal delivery writes a kernel frame onto the stack; the core's
+        post_mem_write event must mark it defined or the handler would
+        trigger false positives."""
+        src = """
+        .text
+main:   movi r0, 11
+        movi r1, 14
+        movi r2, handler
+        syscall
+        movi r0, 13
+        movi r1, 300
+        syscall
+wait:   ld   r1, [flag]
+        test r1, r1
+        jz   wait
+        movi r0, 0
+        ret
+handler:
+        ld   r1, [sp+4]      ; the signal number argument: defined
+        st   [flag], r1
+        ret
+        .data
+flag:   .word 0
+"""
+        nat, res = run_both(src, tool="memcheck")
+        assert res.errors == []
+
+
+class TestSuppressionsEndToEnd:
+    def test_suppression_file_via_options(self, tmp_path):
+        supp = tmp_path / "x.supp"
+        supp.write_text("""
+{
+   silence-main-uninit
+   memcheck:UninitCondition
+   fun:main
+}
+""")
+        src = """
+        .text
+main:   subi sp, 8
+        ld   r0, [sp]
+        addi sp, 8
+        cmpi r0, 0
+        je   x
+x:      movi r0, 0
+        ret
+"""
+        img = asm_image(src)
+        noisy = vg(img, "memcheck")
+        assert len(noisy.errors) == 1
+        quiet = vg(img, "memcheck",
+                   options=Options(log_target="capture",
+                                   suppressions=[str(supp)]))
+        assert quiet.errors == []
+        assert quiet.core.error_mgr.suppressed_counts == {
+            "silence-main-uninit": 1
+        }
+
+
+class TestTraceTranslations:
+    def test_trace_prints_ir(self, capsys):
+        src = "main: movi r0, 0\n ret\n"
+        vg(src, options=Options(log_target="capture", trace_translations=True))
+        out = capsys.readouterr().out
+        assert "==== translation at" in out
+        assert "IMark" in out and "goto" in out
+
+
+class TestHobbesOnWorkloads:
+    @pytest.mark.parametrize("name", ["mcf", "vortex"])
+    def test_pointer_heavy_workloads_are_clean(self, name):
+        """The pointer-chasing workloads use pointers correctly; Hobbes
+        must agree (no false positives) and must not perturb them."""
+        from repro.workloads.suite import build
+
+        wl = build(name, scale=0.1)
+        nat = native(wl.image)
+        res = vg(wl.image, "hobbes")
+        assert res.stdout == nat.stdout
+        assert [e.kind for e in res.errors] == []

@@ -1,0 +1,174 @@
+"""Tests for IR types, expressions, statements, blocks, values and pretty
+printing."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ir import (
+    IRSB,
+    Binop,
+    CCall,
+    Const,
+    Dirty,
+    Exit,
+    Get,
+    IMark,
+    ITE,
+    IRTypeError,
+    JumpKind,
+    Load,
+    Put,
+    RdTmp,
+    StateFx,
+    Store,
+    Ty,
+    Unop,
+    WrTmp,
+    c8,
+    c32,
+    const,
+    fmt_expr,
+    fmt_irsb,
+    fmt_stmt,
+)
+from repro.ir.expr import expr_size
+from repro.ir.types import fits, mask, sign_extend
+from repro.ir.values import from_bytes, to_bytes, zero
+
+
+class TestTypes:
+    def test_bits_and_sizes(self):
+        assert Ty.I1.bits == 1 and Ty.I1.size == 1
+        assert Ty.I32.bits == 32 and Ty.I32.size == 4
+        assert Ty.V128.bits == 128 and Ty.V128.size == 16
+        assert Ty.F64.size == 8
+
+    def test_masks(self):
+        assert Ty.I8.mask == 0xFF
+        with pytest.raises(ValueError):
+            Ty.F64.mask
+
+    def test_fits(self):
+        assert fits(Ty.I8, 255) and not fits(Ty.I8, 256)
+        assert fits(Ty.F64, 1.5) and not fits(Ty.F64, 1)
+        assert not fits(Ty.I32, True)  # bools are not integers here
+
+    @given(st.integers(-(1 << 40), 1 << 40))
+    def test_sign_extend_roundtrip(self, v):
+        assert mask(32, sign_extend(32, v)) == mask(32, v)
+
+
+class TestValues:
+    @given(st.integers(0, 0xFFFFFFFF))
+    def test_i32_roundtrip(self, v):
+        assert from_bytes(Ty.I32, to_bytes(Ty.I32, v)) == v
+
+    @given(st.floats(allow_nan=False))
+    def test_f64_roundtrip(self, v):
+        assert from_bytes(Ty.F64, to_bytes(Ty.F64, v)) == v
+
+    def test_wrong_length_raises(self):
+        with pytest.raises(ValueError):
+            from_bytes(Ty.I32, b"\x00")
+
+    def test_zero(self):
+        assert zero(Ty.F64) == 0.0 and isinstance(zero(Ty.F64), float)
+        assert zero(Ty.I32) == 0
+
+
+class TestExpressions:
+    def test_const_validation(self):
+        with pytest.raises(ValueError):
+            Const(Ty.I8, 256)
+        assert const(Ty.I8, 0x1FF).value == 0xFF  # convenience masks
+
+    def test_unop_arity_checked(self):
+        with pytest.raises(ValueError):
+            Unop("Add32", c32(1))
+        with pytest.raises(ValueError):
+            Binop("Not32", c32(1), c32(2))
+
+    def test_atoms(self):
+        assert c32(1).is_atom() and RdTmp(0).is_atom()
+        assert not Get(0, Ty.I32).is_atom()
+
+    def test_expr_size(self):
+        e = Binop("Add32", Binop("Add32", c32(1), c32(2)), c32(3))
+        assert expr_size(e) == 5
+
+
+class TestBlocks:
+    def test_new_tmp_and_types(self):
+        sb = IRSB()
+        t0 = sb.new_tmp(Ty.I32)
+        t1 = sb.new_tmp(Ty.F64)
+        assert t0 != t1
+        assert sb.type_of_tmp(t0) is Ty.I32
+        assert sb.type_of(RdTmp(t1)) is Ty.F64
+        assert sb.type_of(Binop("Add32", c32(1), c32(2))) is Ty.I32
+        assert sb.type_of(ITE(const(Ty.I1, 1), c32(1), c32(2))) is Ty.I32
+
+    def test_unknown_tmp_raises(self):
+        with pytest.raises(IRTypeError):
+            IRSB().type_of_tmp(42)
+
+    def test_assign_new_emits(self):
+        sb = IRSB()
+        r = sb.assign_new(Binop("Add32", c32(1), c32(2)))
+        assert isinstance(r, RdTmp)
+        assert isinstance(sb.stmts[0], WrTmp)
+
+    def test_num_real_stmts_skips_noops(self):
+        from repro.ir import NoOp
+
+        sb = IRSB()
+        sb.add(NoOp())
+        sb.add(IMark(0x100, 4))
+        assert sb.num_real_stmts() == 1
+
+
+class TestPrettyPrinter:
+    """The printed forms must match the paper's figures' syntax."""
+
+    def test_figure1_expression_shape(self):
+        e = Binop(
+            "Add32",
+            Binop("Add32", Get(12, Ty.I32), Binop("Shl32", Get(0, Ty.I32), c8(2))),
+            c32(0xFFFFC0CC),
+        )
+        assert (
+            fmt_expr(e)
+            == "Add32(Add32(GET:I32(12),Shl32(GET:I32(0),0x2:I8)),0xFFFFC0CC:I32)"
+        )
+
+    def test_put_load_store(self):
+        assert fmt_stmt(Put(0, Load(Ty.I32, RdTmp(0)))) == "PUT(0) = LDle:I32(t0)"
+        assert fmt_stmt(Store(RdTmp(1), c32(5))) == "STle(t1) = 0x5:I32"
+
+    def test_imark(self):
+        assert fmt_stmt(IMark(0x24F275, 7)) == "------ IMark(0x24F275, 7) ------"
+
+    def test_dirty_with_annotations(self):
+        s = Dirty(
+            "helperc_value_check4_fail",
+            (),
+            guard=RdTmp(27),
+            state_fx=(StateFx(False, 16, 4), StateFx(False, 60, 4)),
+        )
+        out = fmt_stmt(s)
+        assert "DIRTY t27" in out
+        assert "RdFX-gst(16,4)" in out and "RdFX-gst(60,4)" in out
+        assert out.endswith("::: helperc_value_check4_fail()")
+
+    def test_goto_line(self):
+        sb = IRSB()
+        t = sb.new_tmp(Ty.I32)
+        sb.add(WrTmp(t, Get(0, Ty.I32)))
+        sb.next = RdTmp(t)
+        sb.jumpkind = JumpKind.Boring
+        out = fmt_irsb(sb)
+        assert out.splitlines()[-1].strip() == "goto {Boring} t0"
+
+    def test_exit_statement(self):
+        s = Exit(RdTmp(3), 0x1000, JumpKind.Boring)
+        assert fmt_stmt(s) == "if (t3) goto {Boring} 0x1000"

@@ -1,0 +1,221 @@
+"""Unit and property tests for the IR primitive-op table."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ir.ops import F64CMP_EQ, F64CMP_GT, F64CMP_LT, F64CMP_UN, NUM_OPS, OPS, get_op
+from repro.ir.types import Ty, mask, sign_extend
+
+u8 = st.integers(0, 0xFF)
+u16 = st.integers(0, 0xFFFF)
+u32 = st.integers(0, 0xFFFFFFFF)
+u64 = st.integers(0, 0xFFFFFFFFFFFFFFFF)
+u128 = st.integers(0, (1 << 128) - 1)
+
+_STRAT = {Ty.I1: st.integers(0, 1), Ty.I8: u8, Ty.I16: u16, Ty.I32: u32,
+          Ty.I64: u64, Ty.V128: u128,
+          Ty.F32: st.floats(width=32, allow_nan=False),
+          Ty.F64: st.floats(allow_nan=False)}
+
+
+def test_paper_claims_more_than_200_ops():
+    assert NUM_OPS > 200
+
+
+def test_unknown_op_raises():
+    with pytest.raises(KeyError, match="unknown IR op"):
+        get_op("Frobnicate32")
+
+
+class TestIntegerALU:
+    def test_add_wraps(self):
+        assert get_op("Add32").apply(0xFFFFFFFF, 1) == 0
+        assert get_op("Add8").apply(0xFF, 0xFF) == 0xFE
+
+    def test_sub_wraps(self):
+        assert get_op("Sub32").apply(0, 1) == 0xFFFFFFFF
+
+    def test_mul_masks(self):
+        assert get_op("Mul16").apply(0x1234, 0x5678) == (0x1234 * 0x5678) & 0xFFFF
+
+    def test_logic(self):
+        assert get_op("And32").apply(0xF0F0, 0x0FF0) == 0x00F0
+        assert get_op("Or32").apply(0xF0F0, 0x0FF0) == 0xFFF0
+        assert get_op("Xor32").apply(0xF0F0, 0x0FF0) == 0xFF00
+
+    def test_not_neg(self):
+        assert get_op("Not8").apply(0x0F) == 0xF0
+        assert get_op("Neg32").apply(1) == 0xFFFFFFFF
+
+    @given(u32, st.integers(0, 255))
+    def test_shl_defined_beyond_width(self, a, s):
+        got = get_op("Shl32").apply(a, s)
+        want = (a << s) & 0xFFFFFFFF if s < 32 else 0
+        assert got == want
+
+    @given(u32, st.integers(0, 255))
+    def test_sar_sign_fills(self, a, s):
+        got = get_op("Sar32").apply(a, s)
+        want = mask(32, sign_extend(32, a) >> min(s, 31))
+        assert got == want
+
+    def test_rotates(self):
+        assert get_op("Rol32").apply(0x80000001, 1) == 0x00000003
+        assert get_op("Ror32").apply(0x80000001, 1) == 0xC0000000
+        assert get_op("Rol32").apply(0x1234, 0) == 0x1234
+
+    def test_clz_ctz_popcnt(self):
+        assert get_op("Clz32").apply(0) == 32
+        assert get_op("Clz32").apply(1) == 31
+        assert get_op("Ctz32").apply(0) == 32
+        assert get_op("Ctz32").apply(8) == 3
+        assert get_op("Popcnt32").apply(0xF0F0) == 8
+
+
+class TestComparisons:
+    def test_signed_vs_unsigned(self):
+        assert get_op("CmpLT32S").apply(0xFFFFFFFF, 0) == 1  # -1 < 0
+        assert get_op("CmpLT32U").apply(0xFFFFFFFF, 0) == 0
+        assert get_op("CmpLE32S").apply(5, 5) == 1
+
+    def test_eq_ne_nez(self):
+        assert get_op("CmpEQ32").apply(7, 7) == 1
+        assert get_op("CmpNE32").apply(7, 8) == 1
+        assert get_op("CmpNEZ32").apply(0) == 0
+        assert get_op("CmpNEZ32").apply(123) == 1
+
+    @given(u32, u32)
+    def test_lt_le_consistency(self, a, b):
+        lt = get_op("CmpLT32U").apply(a, b)
+        le = get_op("CmpLE32U").apply(a, b)
+        eq = get_op("CmpEQ32").apply(a, b)
+        assert le == (lt | eq)
+
+
+class TestConversions:
+    def test_widen_unsigned(self):
+        assert get_op("8Uto32").apply(0xFF) == 0xFF
+
+    def test_widen_signed(self):
+        assert get_op("8Sto32").apply(0x80) == 0xFFFFFF80
+        assert get_op("16Sto32").apply(0x7FFF) == 0x7FFF
+
+    def test_narrow(self):
+        assert get_op("32to8").apply(0x12345678) == 0x78
+        assert get_op("32to1").apply(2) == 0
+
+    def test_halves(self):
+        assert get_op("64HIto32").apply(0x1122334455667788) == 0x11223344
+        assert get_op("32HLto64").apply(0x11223344, 0x55667788) == 0x1122334455667788
+
+    @given(u32)
+    def test_widen_narrow_roundtrip(self, a):
+        assert get_op("64to32").apply(get_op("32Uto64").apply(a)) == a
+
+
+class TestMulDiv:
+    def test_widening_multiply(self):
+        assert get_op("MullU32").apply(0xFFFFFFFF, 2) == 0x1FFFFFFFE
+        # -1 * 3 == -3 as a 64-bit value
+        assert get_op("MullS32").apply(0xFFFFFFFF, 3) == (-3) & ((1 << 64) - 1)
+
+    def test_division_truncates_toward_zero(self):
+        assert get_op("DivS32").apply((-7) & 0xFFFFFFFF, 2) == (-3) & 0xFFFFFFFF
+        assert get_op("ModS32").apply((-7) & 0xFFFFFFFF, 2) == (-1) & 0xFFFFFFFF
+        assert get_op("DivU32").apply(7, 2) == 3
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            get_op("DivU32").apply(1, 0)
+        with pytest.raises(ZeroDivisionError):
+            get_op("ModS32").apply(1, 0)
+
+    @given(u32, st.integers(1, 0xFFFFFFFF))
+    def test_divmod_identity_unsigned(self, a, b):
+        q = get_op("DivU32").apply(a, b)
+        r = get_op("ModU32").apply(a, b)
+        assert q * b + r == a
+        assert r < b
+
+
+class TestFloatingPoint:
+    def test_arith(self):
+        assert get_op("AddF64").apply(1.5, 2.25) == 3.75
+        assert get_op("DivF64").apply(1.0, 4.0) == 0.25
+
+    def test_div_by_zero_gives_inf(self):
+        assert get_op("DivF64").apply(1.0, 0.0) == math.inf
+        assert get_op("DivF64").apply(-1.0, 0.0) == -math.inf
+        assert math.isnan(get_op("DivF64").apply(0.0, 0.0))
+
+    def test_cmp_encoding(self):
+        assert get_op("CmpF64").apply(1.0, 2.0) == F64CMP_LT
+        assert get_op("CmpF64").apply(2.0, 1.0) == F64CMP_GT
+        assert get_op("CmpF64").apply(2.0, 2.0) == F64CMP_EQ
+        assert get_op("CmpF64").apply(math.nan, 1.0) == F64CMP_UN
+
+    def test_f_to_i_saturates(self):
+        assert get_op("F64toI32S").apply(1e30) == 0x7FFFFFFF
+        assert get_op("F64toI32S").apply(-1e30) == 0x80000000
+        assert get_op("F64toI32S").apply(math.nan) == 0x80000000
+        assert get_op("F64toI32S").apply(-2.7) == (-2) & 0xFFFFFFFF
+
+    @given(st.floats(allow_nan=False, allow_infinity=False))
+    def test_reinterp_roundtrip(self, v):
+        bits = get_op("ReinterpF64asI64").apply(v)
+        assert get_op("ReinterpI64asF64").apply(bits) == v
+
+    def test_f32_rounding(self):
+        # 0.1 is not exactly representable in F32.
+        got = get_op("AddF32").apply(0.1, 0.0)
+        assert got != 0.1 and abs(got - 0.1) < 1e-8
+
+
+class TestSIMD:
+    def test_lanewise_add_wraps_per_lane(self):
+        a = 0xFF  # lane 0 = 0xFF
+        b = 0x02
+        assert get_op("Add8x16").apply(a, b) == 0x01  # no carry into lane 1
+
+    def test_cmpeq_lanes(self):
+        a = (5 << 8) | 7
+        b = (6 << 8) | 7
+        got = get_op("CmpEQ8x16").apply(a, b)
+        assert got & 0xFF == 0xFF and (got >> 8) & 0xFF == 0
+
+    def test_saturating_add(self):
+        assert get_op("QAddU8x16").apply(0xF0, 0x20) == 0xFF
+
+    def test_dup(self):
+        got = get_op("Dup8x16").apply(0xAB)
+        for lane in range(16):
+            assert (got >> (8 * lane)) & 0xFF == 0xAB
+
+    def test_hl_combination(self):
+        v = get_op("64HLtoV128").apply(1, 2)
+        assert get_op("V128HIto64").apply(v) == 1
+        assert get_op("V128to64").apply(v) == 2
+
+    def test_lane_shift(self):
+        v = get_op("ShlN16x8").apply(0x0001_0001, 4)
+        assert v == 0x0010_0010
+
+
+@given(st.sampled_from(sorted(OPS)), st.data())
+def test_every_op_is_total_and_well_typed(name, data):
+    """Every op, applied to in-range values, yields an in-range result."""
+    op = OPS[name]
+    args = [data.draw(_STRAT[t]) for t in op.args]
+    try:
+        result = op.apply(*args)
+    except ZeroDivisionError:
+        assert name.startswith(("Div", "Mod"))
+        return
+    ret = op.ret
+    if ret.is_float:
+        assert isinstance(result, float)
+    else:
+        assert isinstance(result, int)
+        assert 0 <= result <= ret.mask

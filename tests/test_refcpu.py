@@ -1,0 +1,207 @@
+"""Reference-CPU unit tests: semantics of representative instructions."""
+
+import pytest
+
+from repro.guest.asm import assemble
+from repro.guest.refcpu import CPUError, RefCPU, TrapKind, MACHID_VALUES
+from repro.guest.regs import FLAG_C, FLAG_O, FLAG_S, FLAG_Z
+from repro.kernel.memory import GuestFault, GuestMemory, PROT_RW, prot_from_str
+
+
+def make_cpu(src: str, *, stack: bool = True):
+    img = assemble(src)
+    mem = GuestMemory()
+    for seg in img.segments:
+        mem.map(seg.addr, max(len(seg.data), 1), prot_from_str(seg.perms))
+        mem.write_raw(seg.addr, seg.data)
+    if stack:
+        mem.map(0xBFF00000, 0x10000, PROT_RW)
+    cpu = RefCPU(mem)
+    cpu.pc = img.entry
+    cpu.regs[4] = 0xBFF10000
+    return cpu, img
+
+
+def run(src: str, **kw):
+    cpu, img = make_cpu(src, **kw)
+    trap = cpu.run(100000)
+    assert trap is TrapKind.HALT, trap
+    return cpu, img
+
+
+class TestALUFlags:
+    def test_add_carry_and_zero(self):
+        cpu, _ = run("movi r0, -1\naddi r0, 1\nhalt\n")
+        assert cpu.regs[0] == 0
+        assert cpu.flags() & FLAG_Z and cpu.flags() & FLAG_C
+
+    def test_sub_borrow(self):
+        cpu, _ = run("movi r0, 0\nsubi r0, 1\nhalt\n")
+        assert cpu.regs[0] == 0xFFFFFFFF
+        assert cpu.flags() & FLAG_C and cpu.flags() & FLAG_S
+
+    def test_signed_overflow(self):
+        cpu, _ = run("movi r0, 0x7FFFFFFF\naddi r0, 1\nhalt\n")
+        assert cpu.flags() & FLAG_O and cpu.flags() & FLAG_S
+
+    def test_logic_clears_carry(self):
+        cpu, _ = run("movi r0, -1\naddi r0, 1\nandi r0, 0\nhalt\n")
+        assert not (cpu.flags() & FLAG_C) and cpu.flags() & FLAG_Z
+
+    def test_shift_by_zero_preserves_flags(self):
+        cpu, _ = run(
+            "movi r0, 0\nsubi r0, 1\nmovi r1, 0\nmovi r2, 5\nshl r2, r1\nhalt\n"
+        )
+        assert cpu.flags() & FLAG_C  # still from the subi
+        assert cpu.regs[2] == 5
+
+    def test_shl_last_bit_out(self):
+        cpu, _ = run("movi r0, 0x80000000\nshl r0, 1\nhalt\n")
+        assert cpu.regs[0] == 0 and cpu.flags() & FLAG_C
+
+    def test_mul_overflow_flag(self):
+        cpu, _ = run("movi r0, 0x10000\nmovi r1, 0x10000\nmul r0, r1\nhalt\n")
+        assert cpu.regs[0] == 0 and cpu.flags() & FLAG_C
+
+    def test_neg_sets_carry_for_nonzero(self):
+        cpu, _ = run("movi r0, 5\nneg r0\nhalt\n")
+        assert cpu.regs[0] == 0xFFFFFFFB and cpu.flags() & FLAG_C
+        cpu, _ = run("movi r0, 0\nneg r0\nhalt\n")
+        assert not (cpu.flags() & FLAG_C)
+
+
+class TestControlFlow:
+    def test_call_ret(self):
+        cpu, _ = run("call f\nmovi r1, 2\nhalt\nf: movi r0, 1\nret\n")
+        assert (cpu.regs[0], cpu.regs[1]) == (1, 2)
+
+    def test_conditional_branches(self):
+        cpu, _ = run(
+            "movi r0, 5\ncmpi r0, 5\nje yes\nmovi r1, 0\nhalt\n"
+            "yes: movi r1, 1\nhalt\n"
+        )
+        assert cpu.regs[1] == 1
+
+    def test_signed_unsigned_branch_difference(self):
+        src = (
+            "movi r0, -1\ncmpi r0, 1\n"
+            "jl sless\nmovi r1, 0\njmp next\nsless: movi r1, 1\n"
+            "next: cmpi r0, 1\njltu uless\nmovi r2, 0\nhalt\n"
+            "uless: movi r2, 1\nhalt\n"
+        )
+        cpu, _ = run(src)
+        assert cpu.regs[1] == 1  # -1 < 1 signed
+        assert cpu.regs[2] == 0  # 0xFFFFFFFF > 1 unsigned
+
+    def test_indirect_jump(self):
+        cpu, _ = run("movi r0, t\njmp r0\nmovi r1, 0\nhalt\nt: movi r1, 7\nhalt\n")
+        assert cpu.regs[1] == 7
+
+    def test_push_pop(self):
+        cpu, _ = run("movi r0, 0x1234\npush r0\npop r1\nhalt\n")
+        assert cpu.regs[1] == 0x1234
+
+    def test_pop_into_sp(self):
+        # Matches the documented semantics: pop sp leaves sp = old sp + 4.
+        cpu, _ = run("mov r6, sp\npush r0\npop sp\nhalt\n")
+        assert cpu.regs[4] == cpu.regs[6]
+
+
+class TestTraps:
+    def test_halt_syscall_lcall_clreq(self):
+        cpu, _ = make_cpu("syscall\nlcall 3\nclreq\nhalt\n")
+        assert cpu.run() is TrapKind.SYSCALL
+        assert cpu.run() is TrapKind.LCALL and cpu.trap_arg == 3
+        assert cpu.run() is TrapKind.CLREQ
+        assert cpu.run() is TrapKind.HALT
+
+    def test_budget(self):
+        cpu, _ = make_cpu("x: jmp x\n")
+        assert cpu.run(10) is TrapKind.BUDGET
+        assert cpu.insn_count == 10
+
+    def test_division_by_zero(self):
+        cpu, _ = make_cpu("movi r0, 1\nmovi r1, 0\ndivu r0, r1\nhalt\n")
+        with pytest.raises(ZeroDivisionError):
+            cpu.run()
+
+    def test_bad_opcode(self):
+        cpu, _ = make_cpu(".data\nnothing: .byte 0\n", stack=False)
+        cpu.mem.map(0x5000, 0x1000, prot_from_str("rx"))
+        cpu.mem.write_raw(0x5000, b"\xee")
+        cpu.pc = 0x5000
+        with pytest.raises(CPUError, match="cannot decode"):
+            cpu.run()
+
+    def test_fault_on_unmapped(self):
+        cpu, _ = make_cpu("ld r0, [0x90000000]\nhalt\n")
+        with pytest.raises(GuestFault):
+            cpu.run()
+
+    def test_fault_on_exec_of_nonexec(self):
+        cpu, _ = make_cpu("halt\n.data\nd: .word 0\n")
+        cpu.pc = 0x11000  # the data segment
+        with pytest.raises(GuestFault):
+            cpu.run()
+
+
+class TestMisc:
+    def test_machid(self):
+        cpu, _ = run("machid\nhalt\n")
+        assert tuple(cpu.regs[:4]) == MACHID_VALUES
+
+    def test_cycles(self):
+        cpu, _ = run("nop\nnop\ncycles\nhalt\n")
+        assert cpu.regs[0] == 3  # counts retired instructions, itself included
+
+    def test_lea(self):
+        cpu, _ = run("movi r1, 0x100\nmovi r2, 4\nlea r0, [r1+r2*8+3]\nhalt\n")
+        assert cpu.regs[0] == 0x100 + 32 + 3
+
+    def test_sign_extensions(self):
+        cpu, _ = run("movi r0, 0x80\nsxb r0\nmovi r1, 0x8000\nsxw r1\nhalt\n")
+        assert cpu.regs[0] == 0xFFFFFF80
+        assert cpu.regs[1] == 0xFFFF8000
+
+    def test_narrow_loads_stores(self):
+        cpu, _ = run(
+            "movi r0, 0x1234ABCD\nst [buf], r0\n"
+            "ldb r1, [buf+1]\nldbs r2, [buf+1]\nldw r3, [buf]\nldws r6, [buf+2]\n"
+            "halt\n.data\nbuf: .word 0\n"
+        )
+        assert cpu.regs[1] == 0xAB
+        assert cpu.regs[2] == 0xFFFFFFAB
+        assert cpu.regs[3] == 0xABCD
+        assert cpu.regs[6] == 0x1234
+
+    def test_fp_basics(self):
+        cpu, _ = run(
+            "fldi f0, 3\nfldi f1, 4\nfmul f0, f1\nfsqrt f0, f0\n"
+            "fcvti r0, f0\nhalt\n"
+        )
+        assert cpu.regs[0] == 3  # sqrt(12) = 3.46 truncated
+
+    def test_fcmp_flags(self):
+        cpu, _ = run("fldi f0, 1\nfldi f1, 2\nfcmp f0, f1\nhalt\n")
+        assert cpu.flags() & FLAG_C and not cpu.flags() & FLAG_Z
+
+    def test_simd_add_and_splat(self):
+        cpu, _ = run(
+            "movi r0, 3\nvsplatb v0, r0\nvmov v1, v0\nvaddb v0, v1\n"
+            "vst [buf], v0\nld r1, [buf]\nhalt\n.data\n.align 16\nbuf: .space 16\n"
+        )
+        assert cpu.regs[1] == 0x06060606
+
+    def test_icache_coherence(self):
+        # Overwrite an executed instruction; re-execution sees the new code.
+        cpu, img = run(
+            "movi r0, 1\n"        # will be patched to movi r0, 9
+            "halt\n"
+        )
+        assert cpu.regs[0] == 1
+        patch_addr = img.entry + 2  # the imm32 field of movi
+        cpu.mem.protect(img.entry & ~0xFFF, 0x1000, prot_from_str("rwx"))
+        cpu.mem.write(patch_addr, (9).to_bytes(4, "little"))
+        cpu.pc = img.entry
+        assert cpu.run() is TrapKind.HALT
+        assert cpu.regs[0] == 9

@@ -1,0 +1,354 @@
+"""Tests for the ICnt tools, Cachegrind (and the cache simulator), Massif,
+TaintCheck, and Tracegrind."""
+
+import pytest
+
+from repro import Options
+from repro.core.clientreq import clreq_asm
+from repro.core.valgrind import Valgrind
+from repro.tools.cachegrind import Cachegrind
+from repro.tools.cachesim import AccessCounts, Cache, CacheConfig, CacheHierarchy
+from repro.tools.massif import Massif
+from repro.tools.taintcheck import TC_IS_TAINTED, TC_TAINT, TaintCheck
+from repro.tools.tracegrind import Tracegrind
+
+from helpers import asm_image, native, vg
+
+COUNT_LOOP = """
+        .text
+main:   movi r0, 1000
+loop:   dec r0
+        jnz loop
+        movi r0, 0
+        ret
+"""
+
+
+class TestICnt:
+    def test_both_counters_agree_with_native(self):
+        img = asm_image(COUNT_LOOP)
+        nat = native(img)
+        inline = vg(img, "icnt-inline")
+        call = vg(img, "icnt-call")
+        assert inline.tool.count == nat.guest_insns
+        assert call.tool.count == nat.guest_insns
+        assert f"executed {nat.guest_insns}" in inline.log
+
+    def test_counts_across_tool_features(self):
+        # Counting must survive libc calls, syscalls and side exits.
+        src = """
+        .text
+main:   pushi 16
+        call malloc
+        addi sp, 4
+        push r0
+        call free
+        addi sp, 4
+        movi r0, 0
+        ret
+"""
+        img = asm_image(src)
+        nat = native(img)
+        res = vg(img, "icnt-inline")
+        assert res.tool.count == nat.guest_insns
+
+
+class TestCacheSim:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size=100, assoc=2, line_size=32)
+
+    def test_lru_within_set(self):
+        c = Cache(CacheConfig(size=2 * 32, assoc=2, line_size=32))
+        assert c.access_line(0) and c.access_line(1)  # cold misses
+        assert not c.access_line(0)                   # hit
+        assert c.access_line(2)                       # evicts LRU (line 1)
+        assert not c.access_line(0)                   # 0 still resident
+        assert c.access_line(1)                       # 1 was evicted
+
+    def test_straddling_access_touches_two_lines(self):
+        h = CacheHierarchy()
+        counts = AccessCounts()
+        h.data_read(30, 4, counts)  # crosses the 32-byte line boundary
+        assert counts.Dr == 1 and counts.D1mr == 2
+
+    def test_l2_catches_l1_misses(self):
+        small_l1 = CacheConfig(size=64, assoc=1, line_size=32)
+        big_l2 = CacheConfig(size=4096, assoc=4, line_size=32)
+        h = CacheHierarchy(small_l1, small_l1, big_l2)
+        counts = AccessCounts()
+        for _ in range(3):
+            for addr in (0, 64, 128):  # all map to L1 set 0: thrash L1
+                h.data_read(addr, 4, counts)
+        assert counts.D1mr == 9       # every access misses D1
+        assert counts.DLmr == 3       # but only the cold misses reach memory
+
+
+class TestCachegrind:
+    def test_counts_and_locality(self):
+        src = """
+        .text
+main:   movi r0, 0
+        movi r1, 0
+seq:    ld   r2, [buf+r1*4]   ; sequential: mostly hits
+        add  r0, r2
+        inc  r1
+        cmpi r1, 512
+        jl   seq
+        movi r0, 0
+        ret
+        .data
+buf:    .space 2048
+"""
+        res = vg(src, "cachegrind")
+        tool = res.tool
+        lines = tool.summary_lines()
+        t = tool.totals
+        assert t.Ir > 2500
+        # 512 loop loads + crt0's argc/argv loads + ret's pop.
+        assert t.Dr == 512 + 3
+        # Sequential access: one miss per 32-byte line (8 words), plus a
+        # couple of cold stack-line misses.
+        assert 512 // 8 <= t.D1mr <= 512 // 8 + 4
+        assert any("D1  misses" in l for l in lines)
+
+    def test_per_function_attribution(self):
+        src = """
+        .text
+main:   call hotfn
+        movi r0, 0
+        ret
+hotfn:  movi r1, 200
+h1:     dec r1
+        jnz h1
+        ret
+"""
+        res = vg(src, "cachegrind")
+        names = [name for name, _ in res.tool.per_function()]
+        assert "hotfn" in names
+        top = res.tool.per_function()[0]
+        assert top[0] in ("hotfn", "h1")  # the loop dominates Ir
+
+
+class TestMassif:
+    def test_peak_and_profile(self):
+        src = """
+        .text
+main:   pushi 1000
+        call malloc
+        addi sp, 4
+        mov  r6, r0
+        pushi 2000
+        call malloc
+        addi sp, 4
+        mov  r7, r0
+        push r6
+        call free
+        addi sp, 4
+        pushi 500
+        call malloc
+        addi sp, 4
+        push r0
+        call free
+        addi sp, 4
+        push r7
+        call free
+        addi sp, 4
+        movi r0, 0
+        ret
+"""
+        res = vg(src, "massif")
+        tool = res.tool
+        assert tool.peak_bytes == 3000
+        assert tool.heap_bytes == 0  # everything freed
+        assert tool.peak_snapshot is not None
+        assert sum(size for _, size in tool.peak_snapshot.detail) == 3000
+        assert "peak heap usage: 3000 bytes" in res.log
+
+    def test_realloc_tracking(self):
+        src = """
+        .text
+main:   pushi 100
+        call malloc
+        addi sp, 4
+        pushi 300
+        push r0
+        call realloc
+        addi sp, 8
+        push r0
+        call free
+        addi sp, 4
+        movi r0, 0
+        ret
+"""
+        res = vg(src, "massif")
+        assert res.tool.peak_bytes == 300
+        assert res.tool.heap_bytes == 0
+
+
+class TestTaintCheck:
+    def test_stdin_is_tainted_and_flows_to_jump(self):
+        src = """
+        .text
+main:   movi r0, 2           ; read(0, buf, 4)
+        movi r1, 0
+        movi r2, buf
+        movi r3, 4
+        syscall
+        ld   r1, [buf]        ; tainted
+        andi r1, 3
+        addi r1, target       ; tainted jump target
+        jmp  r1
+target: movi r0, 0
+        ret
+        .data
+buf:    .word 0
+"""
+        res = vg(src, "taintcheck", stdin=b"\x00\x00\x00\x00")
+        assert [e.kind for e in res.errors] == ["TaintedJump"]
+
+    def test_untainted_jump_is_fine(self):
+        src = """
+        .text
+main:   movi r1, target
+        jmp  r1
+target: movi r0, 0
+        ret
+"""
+        res = vg(src, "taintcheck")
+        assert res.errors == []
+
+    def test_taint_clears_on_overwrite(self):
+        src = f"""
+        .text
+main:   movi r1, buf
+        movi r2, 4
+        movi r0, {TC_TAINT:#x}
+        clreq
+        sti  [buf], 7         ; constant store untaints
+        movi r1, buf
+        movi r2, 4
+        movi r0, {TC_IS_TAINTED:#x}
+        clreq
+        push r0
+        call putint
+        addi sp, 4
+        movi r0, 0
+        ret
+        .data
+buf:    .word 0
+"""
+        res = vg(src, "taintcheck")
+        assert res.stdout.strip() == "0"
+
+    def test_taint_propagates_through_arithmetic(self):
+        src = f"""
+        .text
+main:   movi r1, buf
+        movi r2, 4
+        movi r0, {TC_TAINT:#x}
+        clreq
+        ld   r1, [buf]
+        addi r1, 5
+        mul  r1, r1
+        st   [out], r1
+        movi r1, out
+        movi r2, 4
+        movi r0, {TC_IS_TAINTED:#x}
+        clreq
+        push r0
+        call putint
+        addi sp, 4
+        movi r0, 0
+        ret
+        .data
+buf:    .word 0
+out:    .word 0
+"""
+        res = vg(src, "taintcheck")
+        assert res.stdout.strip() == "1"
+
+    def test_tainted_syscall_arg_flagged(self):
+        src = f"""
+        .text
+main:   movi r1, buf
+        movi r2, 4
+        movi r0, {TC_TAINT:#x}
+        clreq
+        ld   r1, [buf]        ; tainted value...
+        movi r0, 13           ; ...used as a syscall arg (alarm(r1))
+        syscall
+        movi r0, 0
+        ret
+        .data
+buf:    .word 0
+"""
+        res = vg(src, "taintcheck")
+        assert "TaintedSyscall" in [e.kind for e in res.errors]
+
+
+class TestTracegrind:
+    def test_trace_matches_program_shape(self):
+        src = """
+        .text
+main:   sti  [buf], 1
+        ld   r0, [buf]
+        ld   r1, [buf+4]
+        movi r0, 0
+        ret
+        .data
+buf:    .space 8
+"""
+        img = asm_image(src)
+        res = vg(img, "tracegrind")
+        events = res.tool.events
+        nat = native(img)
+        insns = [e for e in events if e[0] == "I"]
+        loads = [e for e in events if e[0] == "L"]
+        stores = [e for e in events if e[0] == "S"]
+        assert len(insns) == nat.guest_insns
+        data_addr = img.symbols["buf"]
+        assert ("S", data_addr, 4) in stores
+        assert ("L", data_addr, 4) in loads and ("L", data_addr + 4, 4) in loads
+        assert "loads" in res.log
+
+    def test_tool_is_about_100_lines(self):
+        # Section 5.1: "about 100 [lines] in Valgrind".
+        import inspect
+
+        import repro.tools.tracegrind as tg
+
+        n = len(inspect.getsource(tg).splitlines())
+        assert 60 <= n <= 150
+
+
+class TestTaintAddrSink:
+    def test_taint_addr_option_catches_table_laundering(self):
+        """Dispatch through a clean jump table with a tainted index: the
+        default jump-target sink misses it (the loaded address is clean);
+        --taint-addr=yes flags the tainted table access."""
+        src = """
+        .text
+main:   movi r0, 2
+        movi r1, 0
+        movi r2, buf
+        movi r3, 4
+        syscall
+        ld   r1, [buf]
+        andi r1, 1
+        shl  r1, 2
+        ld   r1, [table+r1]   ; clean value, tainted index
+        jmp  r1
+t0:     movi r0, 0
+        ret
+        .data
+table:  .word t0, t0
+buf:    .word 0
+"""
+        img = asm_image(src)
+        off = vg(img, "taintcheck", stdin=b"\x01\0\0\0")
+        assert off.errors == []  # the classic false negative
+        on = vg(img, "taintcheck", stdin=b"\x01\0\0\0",
+                options=Options(log_target="capture",
+                                tool_options=["--taint-addr=yes"]))
+        assert [e.kind for e in on.errors] == ["TaintedAddr"]
