@@ -23,7 +23,28 @@ import pytest
 #: Workload scale for timing benches.
 SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.2"))
 
+#: Scale used when the ``--quick`` flag is given (CI smoke runs).
+QUICK_SCALE = 0.1
+
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--quick",
+        action="store_true",
+        default=False,
+        help=f"smoke-run the benches at scale {QUICK_SCALE} "
+        "(overrides REPRO_BENCH_SCALE)",
+    )
+
+
+def pytest_configure(config):
+    # Benches read SCALE at import, which happens after configure — so a
+    # plain module-global update is enough.
+    if config.getoption("--quick", default=False):
+        global SCALE
+        SCALE = QUICK_SCALE
 
 
 def save_and_show(capsys, experiment_id: str, lines) -> None:

@@ -316,17 +316,23 @@ class CALL(HInsn):
 
 @dataclass(frozen=True)
 class SIDEEXIT(HInsn):
-    """If cond != 0: TS.pc = dst; return to the dispatcher with *jk*."""
+    """If cond != 0: TS.pc = dst; return to the dispatcher with *jk*.
+
+    ``icnt`` is the number of guest instructions (IMarks) completed when
+    this exit is taken — it lets the dispatcher keep an *exact* guest
+    instruction count even on side exits.
+    """
 
     cond: Reg
     dst: int
     jk: str  # JumpKind value
+    icnt: int = 0
 
     def regs_read(self):
         return (self.cond,)
 
     def __str__(self) -> str:
-        return f"exit-if {self.cond} -> {self.dst:#x} {{{self.jk}}}"
+        return f"exit-if {self.cond} -> {self.dst:#x} {{{self.jk}}} [{self.icnt}]"
 
 
 @dataclass(frozen=True)
@@ -354,12 +360,16 @@ class SETPCR(HInsn):
 
 @dataclass(frozen=True)
 class RET(HInsn):
-    """Return to the dispatcher with a jump-kind code."""
+    """Return to the dispatcher with a jump-kind code.
+
+    ``icnt`` is the block's total guest instruction (IMark) count.
+    """
 
     jk: str
+    icnt: int = 0
 
     def __str__(self) -> str:
-        return f"ret {{{self.jk}}}"
+        return f"ret {{{self.jk}}} [{self.icnt}]"
 
 
 # -- spill pseudo-instructions (inserted by the allocator) ---------------------
@@ -551,12 +561,14 @@ def encode_insns(insns: Sequence[HInsn]) -> bytes:
             _enc_reg(insn.cond, body)
             body += insn.dst.to_bytes(4, "little")
             body.append(_jk_code(insn.jk))
+            body += insn.icnt.to_bytes(2, "little")
         elif isinstance(insn, SETPCI):
             body += insn.dst.to_bytes(4, "little")
         elif isinstance(insn, SETPCR):
             _enc_reg(insn.src, body)
         elif isinstance(insn, RET):
             body.append(_jk_code(insn.jk))
+            body += insn.icnt.to_bytes(2, "little")
         elif isinstance(insn, SPILL):
             body += insn.slot.to_bytes(2, "little")
             _enc_reg(insn.src, body)
@@ -682,13 +694,15 @@ def decode_insns(data: bytes) -> List[HInsn]:
         elif cls is SIDEEXIT:
             c = reg()
             dst = u32()
-            out.append(SIDEEXIT(c, dst, _JK_BY_CODE[u8()]))
+            jk = _JK_BY_CODE[u8()]
+            out.append(SIDEEXIT(c, dst, jk, u16()))
         elif cls is SETPCI:
             out.append(SETPCI(u32()))
         elif cls is SETPCR:
             out.append(SETPCR(reg()))
         elif cls is RET:
-            out.append(RET(_JK_BY_CODE[u8()]))
+            jk = _JK_BY_CODE[u8()]
+            out.append(RET(jk, u16()))
         elif cls is SPILL:
             slot = u16()
             src = reg()

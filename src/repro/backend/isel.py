@@ -49,6 +49,9 @@ class ISel:
         self._tmp_vreg: Dict[int, Reg] = {}
         #: Constant re-use: one LI per distinct constant per block.
         self._const_vreg: Dict[tuple, Reg] = {}
+        #: IMarks seen so far: exits carry this so the dispatcher can keep
+        #: exact guest instruction counts on side exits.
+        self._imarks_seen = 0
 
     # -- register management ---------------------------------------------------
 
@@ -119,7 +122,10 @@ class ISel:
     # -- statement selection ----------------------------------------------------------
 
     def stmt(self, s) -> None:
-        if isinstance(s, (NoOp, IMark)):
+        if isinstance(s, IMark):
+            self._imarks_seen += 1
+            return
+        if isinstance(s, NoOp):
             return
         if isinstance(s, WrTmp):
             dst = self.vreg_for_tmp(s.tmp)
@@ -139,7 +145,9 @@ class ISel:
             return
         if isinstance(s, Exit):
             cond = self.expr(s.guard)
-            self.insns.append(SIDEEXIT(cond, s.dst, s.jumpkind.value))
+            self.insns.append(
+                SIDEEXIT(cond, s.dst, s.jumpkind.value, self._imarks_seen)
+            )
             return
         if isinstance(s, Dirty):
             guard = self.expr(s.guard) if s.guard is not None else None
@@ -159,7 +167,7 @@ class ISel:
             self.insns.append(SETPCI(int(nxt.value)))
         else:
             self.insns.append(SETPCR(self.expr(nxt)))
-        self.insns.append(RET(self.sb.jumpkind.value))
+        self.insns.append(RET(self.sb.jumpkind.value, self._imarks_seen))
         return self.insns
 
 

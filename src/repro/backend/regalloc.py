@@ -315,7 +315,7 @@ def allocate(insns: Sequence[HInsn]) -> Tuple[List[HInsn], AllocStats]:
             new = CALL(insn.helper, args, dst=dst, retty=insn.retty,
                        dirty=insn.dirty, guard=guard)
         elif isinstance(insn, SIDEEXIT):
-            new = SIDEEXIT(map_use(insn.cond), insn.dst, insn.jk)
+            new = SIDEEXIT(map_use(insn.cond), insn.dst, insn.jk, insn.icnt)
         elif isinstance(insn, SETPCR):
             new = SETPCR(map_use(insn.src))
         elif isinstance(insn, (SETPCI, RET)):

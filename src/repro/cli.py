@@ -35,6 +35,9 @@ core options:
   --smc-check=none|stack|all   self-modifying-code checking (default: stack)
   --max-stackframe=<bytes>     stack-switch heuristic threshold (default 2MB)
   --chaining=yes|no            translation chaining (default: no)
+  --perf=yes|no                perf execution mode: compiled-code
+                               memoization, full chaining, megacache
+  --stats=none|json            print run statistics to stderr (default: none)
   --log-file=<path>            send tool output to a file (default: stderr)
   --suppressions=<file>        load error suppressions
   --stack-size=<bytes>         client stack size
@@ -106,6 +109,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     result = vg.run(image, client_argv, resolve_image=load_image)
     sys.stdout.write(result.stdout)
     sys.stderr.write(result.stderr)
+    if options.stats_format == "json":
+        import json
+
+        print(json.dumps(result.stats(), indent=2, sort_keys=True),
+              file=sys.stderr)
     if result.outcome.fatal_signal is not None:
         print(
             f"repro: client killed by signal {result.outcome.fatal_signal}",

@@ -15,6 +15,21 @@ Optional *chaining* (linking) patches a translation to jump straight to
 its constant successor, avoiding the dispatcher entirely; the real
 Valgrind 3.2.1 did not do this (its old JIT did), so it is off by default
 and exists here for the ablation bench.
+
+**Perf mode** (``--perf``) promotes the hot path to first class:
+
+* translations execute through content-addressed compiled runners
+  (:meth:`repro.backend.hostcpu.HostCPU.compile_fn`), compiled eagerly at
+  insert time;
+* chaining follows Boring *and* Call/Ret successors, multiple links per
+  dispatch step, with every link recorded in the translation table's
+  :class:`~repro.core.transtab.ChainRegistry` so eviction / munmap / SMC
+  invalidation severs stale links eagerly;
+* a larger 2-way set-associative *megacache* sits behind the
+  direct-mapped fast cache, catching translations the small cache
+  conflict-evicts before a full table probe is needed.
+
+The default mode's behaviour is byte-identical to the paper's.
 """
 
 from __future__ import annotations
@@ -43,11 +58,18 @@ class DispatchStats:
     blocks_executed: int = 0
     quantum_expiries: int = 0
     smc_flushes: int = 0
+    #: Perf mode: hits in the 2-way megacache tier behind the fast cache.
+    mega_hits: int = 0
+    #: Perf mode: live megacache entries displaced by a fill (demotions
+    #: from way 0 that pushed a resident way-1 entry out).
+    mega_evictions: int = 0
 
     @property
     def hit_rate(self) -> float:
-        total = self.fast_hits + self.slow_hits + self.chained + self.misses
-        return (self.fast_hits + self.chained) / total if total else 0.0
+        total = (self.fast_hits + self.slow_hits + self.chained
+                 + self.mega_hits + self.misses)
+        hits = self.fast_hits + self.chained + self.mega_hits
+        return hits / total if total else 0.0
 
 
 class Dispatcher:
@@ -68,14 +90,21 @@ class Dispatcher:
         size = options.dispatch_cache_size
         self._mask = size - 1
         self._cache: list = [None] * size
+        #: Megacache (perf mode): flat 2-way set-associative array, set i
+        #: occupying slots 2i (MRU way) and 2i+1 (LRU way).
+        self._perf = options.perf
+        mega_sets = (options.megacache_size // 2) if options.perf else 0
+        self._megamask = mega_sets - 1
+        self._mega: list = [None] * (2 * mega_sets)
         self.stats = DispatchStats()
-        #: Approximate guest instructions executed (sums each executed
-        #: block's IMark count; side exits overcount slightly).
+        #: Guest instructions executed — exact: each block execution
+        #: reports its completed IMark count, side exits included.
         self.guest_insns = 0
 
     def flush_cache(self) -> None:
-        """Invalidate the fast cache (after any translation discard)."""
+        """Invalidate both look-up tiers (after any translation discard)."""
         self._cache = [None] * len(self._cache)
+        self._mega = [None] * len(self._mega)
 
     def run(self, ts, max_blocks: Optional[int] = None) -> Tuple[str, object]:
         """Execute translations for thread state *ts* until an event.
@@ -86,6 +115,8 @@ class Dispatcher:
           ("smc", t)          — an SMC hash check failed on translation t
           ("quantum", None)   — the dispatch quantum expired
         """
+        if self._perf:
+            return self._run_perf(ts, max_blocks)
         stats = self.stats
         cache = self._cache
         mask = self._mask
@@ -128,10 +159,10 @@ class Dispatcher:
                 return ("smc", t)
             if t.compiled is None:
                 t.compiled = hostcpu.compile(t.code)
-            jk = hostcpu.run(t.compiled, ts)
+            jk, icnt = hostcpu.run(t.compiled, ts)
             n += 1
             stats.blocks_executed += 1
-            self.guest_insns += t.stats.guest_insns
+            self.guest_insns += icnt
             if jk != _BORING:
                 if jk == _CALL:
                     # Maintain the shadow call stack used for stack traces:
@@ -168,6 +199,125 @@ class Dispatcher:
             t = nxt
         stats.quantum_expiries += 1
         return ("quantum", None)
-    # NOTE on chaining fidelity: we only chain Boring->Boring constant
-    # successors, and only one link deep per step, mirroring patched
-    # direct branches.
+    # NOTE on chaining fidelity (default mode): we only chain
+    # Boring->Boring constant successors, and only one link deep per step,
+    # mirroring patched direct branches.
+
+    # -- perf mode -------------------------------------------------------------
+
+    def _run_perf(self, ts, max_blocks: Optional[int] = None):
+        """The ``--perf`` dispatch loop.
+
+        Differences from the default loop: translations execute through
+        their eagerly-compiled ``compiled_fn`` runner; successors are
+        chained across Boring *and* Call/Ret jumps via the registry (so
+        links are severed, not just flagged, when a translation dies); and
+        fast-cache misses probe the 2-way megacache before falling back to
+        the full translation table.
+        """
+        stats = self.stats
+        cache = self._cache
+        mask = self._mask
+        mega = self._mega
+        megamask = self._megamask
+        transtab = self.transtab
+        hostcpu = self.hostcpu
+        smc_recheck = self.smc_recheck
+        quantum = self.options.dispatch_quantum
+        if max_blocks is not None:
+            quantum = min(quantum, max_blocks)
+        n = 0
+        # Pending chain source: (translation, slot) to link once the next
+        # translation is resolved through a cache/table look-up.
+        pend: Optional[Tuple[Translation, str]] = None
+        t: Optional[Translation] = None
+        while n < quantum:
+            pc = ts.pc
+            if t is None:
+                idx = (pc >> 1) & mask
+                cand = cache[idx]
+                if cand is not None and cand.guest_addr == pc and not cand.dead:
+                    t = cand
+                    stats.fast_hits += 1
+                else:
+                    mi = ((pc >> 1) & megamask) << 1
+                    m = mega[mi]
+                    if m is not None and m.guest_addr == pc and not m.dead:
+                        t = m
+                        stats.mega_hits += 1
+                    else:
+                        m = mega[mi + 1]
+                        if m is not None and m.guest_addr == pc and not m.dead:
+                            # Promote the LRU way to MRU.
+                            t = m
+                            mega[mi + 1] = mega[mi]
+                            mega[mi] = t
+                            stats.mega_hits += 1
+                        else:
+                            t = transtab.lookup(pc)
+                            if t is None:
+                                stats.misses += 1
+                                return ("translate", pc)
+                            stats.slow_hits += 1
+                            # Fill: demote the MRU way; a displaced live
+                            # way-1 entry is an eviction.
+                            old = mega[mi + 1]
+                            if old is not None and not old.dead:
+                                stats.mega_evictions += 1
+                            mega[mi + 1] = mega[mi]
+                            mega[mi] = t
+                    cache[idx] = t
+                if pend is not None:
+                    src, slot = pend
+                    # Chain-once: an occupied slot is left alone, so a
+                    # polymorphic successor (a Ret with many callers)
+                    # does not thrash the registry on every dispatch.
+                    if not src.dead and getattr(src, slot) is None:
+                        transtab.chain(src, slot, t)
+                pend = None
+            if t.smc_checked and smc_recheck is not None and not smc_recheck(t):
+                stats.smc_flushes += 1
+                return ("smc", t)
+            fn = t.compiled_fn
+            if fn is None:
+                # Lazy fallback (e.g. translations inserted before perf
+                # wiring); normally insert-time compilation covers this.
+                fn = t.compiled_fn = hostcpu.compile_fn(t.code)
+            jk, icnt = fn(ts)
+            n += 1
+            stats.blocks_executed += 1
+            self.guest_insns += icnt
+            slot = "chain_next"
+            if jk != _BORING:
+                if jk == _CALL:
+                    cs = ts.callstack
+                    cs.append((hostcpu.mem.load32(ts.sp), ts.pc))
+                    if len(cs) > _CALLSTACK_MAX:
+                        del cs[: _CALLSTACK_MAX // 2]
+                    slot = "chain_call"
+                elif jk == _RET:
+                    cs = ts.callstack
+                    target = ts.pc
+                    if cs:
+                        if cs[-1][0] == target:
+                            cs.pop()
+                        else:
+                            for depth in range(2, min(9, len(cs) + 1)):
+                                if cs[-depth][0] == target:
+                                    del cs[-depth:]
+                                    break
+                    slot = "chain_ret"
+                else:
+                    return ("jumpkind", jk)
+            # Follow the chain: multi-link — each hop bypasses both
+            # look-up tiers entirely.
+            nxt = getattr(t, slot)
+            if nxt is not None and nxt.guest_addr == ts.pc and not nxt.dead:
+                stats.chained += 1
+                pend = None
+                t = nxt
+            else:
+                pend = (t, slot) if nxt is None else None
+                t = None
+        stats.quantum_expiries += 1
+        return ("quantum", None)

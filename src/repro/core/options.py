@@ -41,6 +41,17 @@ class Options:
     #: Enable translation chaining (off, as in the paper's Valgrind 3.2.1;
     #: the dispatcher-ablation bench switches it on).
     chaining: bool = False
+    #: Perf execution mode: content-addressed compiled-code memoization
+    #: with eager insert-time compilation, first-class multi-link chaining
+    #: (Boring + Call/Ret) with registry-severed invalidation, and the
+    #: two-tier dispatcher cache.  Off by default: the default mode is
+    #: byte-identical to the paper's behaviour.
+    perf: bool = False
+    #: Megacache entries (perf mode): a 2-way set-associative second cache
+    #: tier behind the direct-mapped one (power of two).
+    megacache_size: int = 32768
+    #: Run-statistics report format: "none" or "json" (--stats=json).
+    stats_format: str = "none"
     #: Run the IR sanity checker between translation phases.
     sanity_level: int = 1
     #: Enable intra-block self-loop unrolling in opt1.
@@ -61,6 +72,7 @@ class Options:
 
     _FLAG_NAMES = {
         "chaining": "chaining",
+        "perf": "perf",
         "unroll": "unroll",
         "opt1": "opt1",
         "opt2": "opt2",
@@ -90,6 +102,15 @@ class Options:
             if n & (n - 1):
                 raise BadOption("--dispatch-cache must be a power of two")
             self.dispatch_cache_size = n
+        elif name == "megacache":
+            n = int(value, 0)
+            if n < 2 or n & (n - 1):
+                raise BadOption("--megacache must be a power of two >= 2")
+            self.megacache_size = n
+        elif name == "stats":
+            if value not in ("none", "json"):
+                raise BadOption(f"--stats must be none|json, got {value!r}")
+            self.stats_format = value
         elif name == "dispatch-quantum":
             self.dispatch_quantum = int(value, 0)
         elif name == "thread-timeslice":

@@ -245,6 +245,14 @@ class Scheduler:
         self.hostcpu = HostCPU(self.memory, helpers, self.env)
         self.transtab = TranslationTable(options.transtab_entries,
                                          policy=options.transtab_policy)
+        if options.perf:
+            # Perf mode: compile each translation eagerly at insert time
+            # through the content-addressed compiled-code cache, instead of
+            # lazily inside the dispatch loop.
+            def _eager_compile(t):
+                t.compiled_fn = self.hostcpu.compile_fn(t.code)
+
+            self.transtab.set_compiler(_eager_compile)
         self.smc = SmcPolicy(options.smc_check, self._fetch_exact)
         self.translator = Translator(
             self._fetch,

@@ -77,8 +77,15 @@ class Translation:
     stats: TranslationStats = field(default_factory=TranslationStats)
     #: Host closures, compiled lazily by the dispatcher.
     compiled: Optional[list] = None
+    #: Perf mode: the content-addressed block runner (shared between
+    #: byte-identical translations), compiled eagerly at insert time.
+    compiled_fn: Optional[object] = None
     #: Chaining: resolved next translation for a constant Boring successor.
     chain_next: Optional["Translation"] = None
+    #: Perf-mode chaining: last observed successor after a Call / Ret
+    #: (kept separate so call/return targets don't thrash the Boring link).
+    chain_call: Optional["Translation"] = None
+    chain_ret: Optional["Translation"] = None
     #: Monotonic insertion number (set by the translation table; FIFO evict).
     serial: int = 0
     #: Set when evicted/discarded, so stale chain pointers are not followed.

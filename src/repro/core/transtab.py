@@ -1,4 +1,4 @@
-"""Translation storage (Section 3.8).
+"""Translation storage (Section 3.8) and the chaining registry.
 
 Translations are stored in the translation table, a fixed-size,
 linear-probe hash table.  If the table gets more than 80% full,
@@ -6,12 +6,21 @@ translations are evicted in chunks, 1/8th of the table at a time, using a
 FIFO policy — chosen over LRU "because it is simpler and it still does a
 fairly good job".  Translations are also evicted when code is unloaded
 (munmap) or invalidated by self-modifying code.
+
+Perf-mode chaining records every translation-to-translation link in a
+:class:`ChainRegistry`, so that when a translation dies — FIFO eviction,
+munmap discard, or SMC invalidation — every link *into* it is severed
+eagerly, and no stale ``chain_next``/``chain_call``/``chain_ret`` pointer
+(nor the dead translation's compiled code) can ever be reached again.
+The paper's own chaining removal (§3.9) cites exactly this invalidation
+complexity as a reason chaining was dropped; the registry is what makes
+re-adding it safe.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Optional
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 from .translate import Translation
 
@@ -19,6 +28,9 @@ from .translate import Translation
 FULL_FRACTION = 0.8
 #: Fraction of entries discarded per eviction round.
 EVICT_FRACTION = 1 / 8
+
+#: The chainable successor slots on a Translation.
+CHAIN_SLOTS = ("chain_next", "chain_call", "chain_ret")
 
 
 @dataclass
@@ -29,6 +41,60 @@ class TransTabStats:
     discarded: int = 0
     lookups: int = 0
     misses: int = 0
+
+
+class ChainRegistry:
+    """Tracks every chain link so dying translations sever them eagerly.
+
+    The dispatcher's per-hop ``dead`` check is a backstop; the registry is
+    the primary mechanism: ``sever(t)`` clears every predecessor slot that
+    points at *t* (incoming links) and every slot *t* itself holds
+    (outgoing links), so a dead translation is unreachable via chains the
+    moment it leaves the table.
+    """
+
+    def __init__(self) -> None:
+        #: id(successor) -> [(predecessor, slot name), ...]
+        self._preds: Dict[int, List[Tuple[Translation, str]]] = {}
+        self.links_made = 0
+        self.links_severed = 0
+
+    def __len__(self) -> int:
+        return sum(len(v) for v in self._preds.values())
+
+    def link(self, pred: Translation, slot: str, succ: Translation) -> None:
+        """Record ``pred.<slot> = succ`` (unlinking any previous target)."""
+        old = getattr(pred, slot)
+        if old is succ:
+            return
+        if old is not None:
+            self._drop(pred, slot, old)
+        setattr(pred, slot, succ)
+        self._preds.setdefault(id(succ), []).append((pred, slot))
+        self.links_made += 1
+
+    def _drop(self, pred: Translation, slot: str, succ: Translation) -> None:
+        entries = self._preds.get(id(succ))
+        if entries is not None:
+            for j, (p, s) in enumerate(entries):
+                if p is pred and s == slot:  # identity, not dataclass eq
+                    del entries[j]
+                    break
+            if not entries:
+                del self._preds[id(succ)]
+
+    def sever(self, t: Translation) -> None:
+        """Cut every link into and out of *t* (called when *t* dies)."""
+        for pred, slot in self._preds.pop(id(t), ()):
+            if getattr(pred, slot) is t:
+                setattr(pred, slot, None)
+                self.links_severed += 1
+        for slot in CHAIN_SLOTS:
+            succ = getattr(t, slot)
+            if succ is not None:
+                self._drop(t, slot, succ)
+                setattr(t, slot, None)
+                self.links_severed += 1
 
 
 class TranslationTable:
@@ -49,6 +115,24 @@ class TranslationTable:
         self._used = 0
         self._next_serial = 0
         self.stats = TransTabStats()
+        #: Chain links into/out of stored translations; severed on death.
+        self.chains = ChainRegistry()
+        #: Perf mode: eager compiler run at insert time (set by the
+        #: scheduler; compiles the block before its first execution).
+        self._compiler: Optional[Callable[[Translation], None]] = None
+
+    def set_compiler(self, compiler: Optional[Callable[[Translation], None]]):
+        """Install an eager insert-time compiler (perf mode)."""
+        self._compiler = compiler
+
+    def chain(self, pred: Translation, slot: str, succ: Translation) -> None:
+        """Link *pred*'s *slot* to *succ* through the chain registry."""
+        self.chains.link(pred, slot, succ)
+
+    def _kill(self, t: Translation) -> None:
+        """Mark *t* dead and sever every chain link touching it."""
+        t.dead = True
+        self.chains.sever(t)
 
     def __len__(self) -> int:
         return self._used
@@ -82,6 +166,8 @@ class TranslationTable:
             self._evict_chunk()
         t.serial = self._next_serial
         self._next_serial += 1
+        if self._compiler is not None and t.compiled_fn is None:
+            self._compiler(t)
         for i in self._probe(t.guest_addr):
             slot = self._slots[i]
             if slot is None:
@@ -90,7 +176,8 @@ class TranslationTable:
                 self.stats.inserts += 1
                 return
             if slot.guest_addr == t.guest_addr:
-                self._slots[i] = t  # replace stale translation
+                self._kill(slot)  # replaced: no chain may reach it again
+                self._slots[i] = t
                 self.stats.inserts += 1
                 return
         raise RuntimeError("translation table unexpectedly full")
@@ -111,7 +198,7 @@ class TranslationTable:
                 (t.serial, i) for i, t in enumerate(self._slots) if t is not None
             )
         for _, i in live[:n_goal]:
-            self._slots[i].dead = True
+            self._kill(self._slots[i])
             self._slots[i] = None
             self._used -= 1
             self.stats.evicted += 1
@@ -137,7 +224,7 @@ class TranslationTable:
             if t is None:
                 break
             if t.guest_addr == addr:
-                t.dead = True
+                self._kill(t)
                 self._slots[i] = None
                 self._used -= 1
                 self.stats.discarded += 1
@@ -156,7 +243,7 @@ class TranslationTable:
             if t is not None and t.covers(addr, size)
         ]
         for i in victims:
-            self._slots[i].dead = True
+            self._kill(self._slots[i])
             self._slots[i] = None
             self._used -= 1
             self.stats.discarded += 1

@@ -49,6 +49,10 @@ class VgResult:
     def errors(self) -> list:
         return self.core.error_mgr.errors if self.core.error_mgr else []
 
+    def stats(self) -> dict:
+        """Run statistics (the ``--stats=json`` payload)."""
+        return self.core.stats_dict(self.outcome)
+
 
 class Valgrind:
     """One core instance, bound to one tool."""
@@ -122,6 +126,48 @@ class Valgrind:
         if self.scheduler is None:
             return []
         return self.scheduler.env.stack_trace_pcs(max_depth)
+
+    def stats_dict(self, outcome: Optional[RunOutcome] = None) -> dict:
+        """Collect core statistics — dispatcher tiers, translation table,
+        chain registry, compiled-code cache, SMC — as one JSON-able dict."""
+        from dataclasses import asdict
+
+        sched = self.scheduler
+        if sched is None:
+            return {"tool": self.tool.name, "perf": self.options.perf}
+        d = sched.dispatcher
+        cpu = sched.hostcpu
+        out = {
+            "tool": self.tool.name,
+            "perf": self.options.perf,
+            "dispatch": {
+                **asdict(d.stats),
+                "hit_rate": d.stats.hit_rate,
+                "guest_insns": d.guest_insns,
+            },
+            "transtab": {
+                **asdict(sched.transtab.stats),
+                "entries": sched.transtab.capacity,
+                "load": sched.transtab.load,
+            },
+            "chains": {
+                "links_made": sched.transtab.chains.links_made,
+                "links_severed": sched.transtab.chains.links_severed,
+                "live_links": len(sched.transtab.chains),
+            },
+            "compiled_code": {
+                "cache_hits": cpu.code_cache_hits,
+                "cache_misses": cpu.code_cache_misses,
+                "unique_blocks": len(cpu._code_cache),
+                "host_insns": cpu.host_insns,
+            },
+            "smc": {"checks": sched.smc.checks, "misses": sched.smc.misses},
+            "translations_made": sched.translator.translations_made,
+        }
+        if outcome is not None:
+            out["exit_code"] = outcome.exit_code
+            out["blocks_executed"] = outcome.blocks_executed
+        return out
 
     def record_error(
         self,
