@@ -451,6 +451,7 @@ class HostCPU:
         completed — exact even on side exits.
         """
         self.ts = ts
+        self._exit_icnt = 0
         i = 0
         n = len(compiled)
         while i < n:

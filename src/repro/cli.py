@@ -38,6 +38,13 @@ core options:
   --perf=yes|no                perf execution mode: compiled-code
                                memoization, full chaining, megacache
   --stats=none|json            print run statistics to stderr (default: none)
+  --precise-faults=yes|no      roll guest state to the exact faulting
+                               instruction before delivering a signal
+                               (default: yes)
+  --signal-poll=<blocks>       async-signal latency bound for chained
+                               execution (default: 100 blocks)
+  --inject=<spec>              seeded fault injection, e.g.
+                               mmap-enomem@3,eintr:0.05,seed=7
   --log-file=<path>            send tool output to a file (default: stderr)
   --suppressions=<file>        load error suppressions
   --stack-size=<bytes>         client stack size

@@ -37,7 +37,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Optional, Tuple
 
+from ..guest.regs import GUEST_STATE_SIZE
 from ..ir.stmt import JumpKind
+from ..kernel.memory import GuestFault
 from .options import Options
 from .transtab import TranslationTable
 from .translate import Translation
@@ -96,6 +98,19 @@ class Dispatcher:
         mega_sets = (options.megacache_size // 2) if options.perf else 0
         self._megamask = mega_sets - 1
         self._mega: list = [None] * (2 * mega_sets)
+        #: Precise synchronous faults: snapshot the architected state
+        #: before each block so an escaping GuestFault/ZeroDivisionError
+        #: can be rolled to the exact faulting instruction boundary.
+        self._precise = options.precise_faults
+        #: Recovery hook (set by the scheduler): called with
+        #: (ts, entry-snapshot, translation, exception), commits the
+        #: precise state and returns (SigInfo, completed guest insns).
+        self.fault_recover: Optional[Callable] = None
+        #: Async-signal latency: polled every ``signal_poll_interval``
+        #: blocks so a chained run cannot outrun a pending signal by more
+        #: than that many blocks (set by the scheduler).
+        self.signals_pending: Optional[Callable[[], bool]] = None
+        self._poll = max(1, options.signal_poll_interval)
         self.stats = DispatchStats()
         #: Guest instructions executed — exact: each block execution
         #: reports its completed IMark count, side exits included.
@@ -114,6 +129,11 @@ class Dispatcher:
           ("jumpkind", jk)    — a non-Boring jump kind needs handling
           ("smc", t)          — an SMC hash check failed on translation t
           ("quantum", None)   — the dispatch quantum expired
+          ("fault", si)       — a synchronous guest fault; state is
+                                committed to the faulting boundary and
+                                *si* is the SigInfo describing it
+          ("signals", n)      — a pending signal was observed mid-quantum
+                                after *n* blocks; deliver it
         """
         if self._perf:
             return self._run_perf(ts, max_blocks)
@@ -126,10 +146,17 @@ class Dispatcher:
         quantum = self.options.dispatch_quantum
         if max_blocks is not None:
             quantum = min(quantum, max_blocks)
+        precise = self._precise and self.fault_recover is not None
+        sig_poll = self.signals_pending
+        next_poll = self._poll
         n = 0
         prev: Optional[Translation] = None
         t: Optional[Translation] = None
         while n < quantum:
+            if sig_poll is not None and n >= next_poll:
+                next_poll = n + self._poll
+                if sig_poll():
+                    return ("signals", n)
             pc = ts.pc
             # Chained fast path: the previous translation already knows
             # its successor.
@@ -159,7 +186,17 @@ class Dispatcher:
                 return ("smc", t)
             if t.compiled is None:
                 t.compiled = hostcpu.compile(t.code)
-            jk, icnt = hostcpu.run(t.compiled, ts)
+            if precise:
+                snap = bytes(ts.data[:GUEST_STATE_SIZE])
+                try:
+                    jk, icnt = hostcpu.run(t.compiled, ts)
+                except (GuestFault, ZeroDivisionError) as exc:
+                    stats.blocks_executed += 1
+                    si, ricnt = self.fault_recover(ts, snap, t, exc)
+                    self.guest_insns += ricnt
+                    return ("fault", si)
+            else:
+                jk, icnt = hostcpu.run(t.compiled, ts)
             n += 1
             stats.blocks_executed += 1
             self.guest_insns += icnt
@@ -226,12 +263,22 @@ class Dispatcher:
         quantum = self.options.dispatch_quantum
         if max_blocks is not None:
             quantum = min(quantum, max_blocks)
+        precise = self._precise and self.fault_recover is not None
+        sig_poll = self.signals_pending
+        next_poll = self._poll
         n = 0
         # Pending chain source: (translation, slot) to link once the next
         # translation is resolved through a cache/table look-up.
         pend: Optional[Tuple[Translation, str]] = None
         t: Optional[Translation] = None
         while n < quantum:
+            # A chained run can execute an entire quantum without touching
+            # the scheduler; poll so an async signal (timer, kill) is
+            # observed within ``signal_poll_interval`` blocks.
+            if sig_poll is not None and n >= next_poll:
+                next_poll = n + self._poll
+                if sig_poll():
+                    return ("signals", n)
             pc = ts.pc
             if t is None:
                 idx = (pc >> 1) & mask
@@ -283,7 +330,17 @@ class Dispatcher:
                 # Lazy fallback (e.g. translations inserted before perf
                 # wiring); normally insert-time compilation covers this.
                 fn = t.compiled_fn = hostcpu.compile_fn(t.code)
-            jk, icnt = fn(ts)
+            if precise:
+                snap = bytes(ts.data[:GUEST_STATE_SIZE])
+                try:
+                    jk, icnt = fn(ts)
+                except (GuestFault, ZeroDivisionError) as exc:
+                    stats.blocks_executed += 1
+                    si, ricnt = self.fault_recover(ts, snap, t, exc)
+                    self.guest_insns += ricnt
+                    return ("fault", si)
+            else:
+                jk, icnt = fn(ts)
             n += 1
             stats.blocks_executed += 1
             self.guest_insns += icnt

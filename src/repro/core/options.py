@@ -52,6 +52,15 @@ class Options:
     megacache_size: int = 32768
     #: Run-statistics report format: "none" or "json" (--stats=json).
     stats_format: str = "none"
+    #: Precise synchronous faults: roll guest state to the exact faulting
+    #: instruction boundary before delivering SIGSEGV/SIGFPE/SIGILL.
+    precise_faults: bool = True
+    #: How many blocks a dispatch/chained run may execute between checks
+    #: for pending asynchronous signals (timer latency bound).
+    signal_poll_interval: int = 100
+    #: Fault-injection plan (``--inject=mmap-enomem@3,eintr:0.05,seed=7``);
+    #: None disables injection entirely.
+    inject: Optional[str] = None
     #: Run the IR sanity checker between translation phases.
     sanity_level: int = 1
     #: Enable intra-block self-loop unrolling in opt1.
@@ -77,6 +86,7 @@ class Options:
         "opt1": "opt1",
         "opt2": "opt2",
         "trace-translations": "trace_translations",
+        "precise-faults": "precise_faults",
     }
 
     def set(self, option: str) -> bool:
@@ -125,6 +135,19 @@ class Options:
             self.suppressions.append(value)
         elif name == "stack-size":
             self.stack_size = int(value, 0)
+        elif name == "signal-poll":
+            n = int(value, 0)
+            if n < 1:
+                raise BadOption("--signal-poll must be >= 1")
+            self.signal_poll_interval = n
+        elif name == "inject":
+            from .faultinject import BadInjectSpec, FaultInjector
+
+            try:
+                FaultInjector(value)  # validate the spec eagerly
+            except BadInjectSpec as exc:
+                raise BadOption(str(exc))
+            self.inject = value
         elif name in self._FLAG_NAMES:
             if value not in ("yes", "no", ""):
                 raise BadOption(f"--{name} must be yes|no")

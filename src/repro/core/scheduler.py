@@ -26,23 +26,24 @@ from ..backend.hostcpu import HostCPU
 from ..frontend.disasm import TranslationFault
 from ..guest.encoding import decode
 from ..guest.loader import SIGPAGE_ADDR, THREAD_STACK_REGION, LoadedProgram
-from ..guest.refcpu import CPUError
-from ..guest.regs import OFFSET_IP_AT_SYSCALL, SP
+from ..guest.refcpu import CPUError, RefCPU
+from ..guest.regs import GUEST_STATE_SIZE, OFFSET_IP_AT_SYSCALL, SP
 from ..ir.stmt import JumpKind
 from ..ir.types import Ty
 from ..kernel import kernel as K
-from ..kernel.kernel import Kernel, ProcessExit
+from ..kernel.kernel import Kernel, ProcessExit, SigInfo
 from ..kernel.memory import GuestFault, GuestMemory, PROT_RWX
 from ..kernel.sigframe import FRAME_PUSH, pop_signal_frame, push_signal_frame
 from . import clientreq as CR
 from .dispatch import Dispatcher
 from .events import EventRegistry
+from .faultinject import FaultInjector
 from .function_wrap import FunctionRedirector
 from .options import Options
 from .smc import SmcPolicy
 from .syscalls import SyscallWrappers
 from .threadstate import ThreadState, ThreadStatus
-from .translate import SP_TRACK_HELPER, Translator
+from .translate import SP_TRACK_HELPER, Translator, make_interp_runner
 from .transtab import TranslationTable
 
 M32 = 0xFFFFFFFF
@@ -200,6 +201,16 @@ class RunOutcome:
     blocks_executed: int = 0
     guest_insns: int = 0
     translations: int = 0
+    #: Why the run stopped without the client exiting, if so:
+    #: None (normal exit / fatal signal) | "deadlock" | "block-budget".
+    stopped_reason: Optional[str] = None
+    #: Fault details of the fatal signal, when it was synchronous.
+    fault_info: Optional[SigInfo] = None
+
+
+#: Exit codes for guest-caused abnormal stops (timeout(1) convention).
+EXIT_BLOCK_BUDGET = 124
+EXIT_DEADLOCK = 125
 
 
 class Scheduler:
@@ -239,6 +250,18 @@ class Scheduler:
         self._next_thread_stack = THREAD_STACK_REGION
         self._exit: Optional[ProcessExit] = None
         self.fatal_signal: Optional[int] = None
+        self.stopped_reason: Optional[str] = None
+        self.fault_info: Optional[SigInfo] = None
+        #: Robustness counters (reported under --stats=json).
+        self.quarantined_blocks = 0
+        self.faults_recovered = 0
+        #: Deterministic fault-injection plan, if --inject was given.
+        self.injector: Optional[FaultInjector] = (
+            FaultInjector(options.inject) if options.inject else None
+        )
+        #: Scratch RefCPU for precise-fault replay (created lazily; one
+        #: instance is reused so memory write hooks are registered once).
+        self._replay_cpu: Optional[RefCPU] = None
 
         # Execution machinery.
         self.env = ExecEnv(self)
@@ -248,9 +271,15 @@ class Scheduler:
         if options.perf:
             # Perf mode: compile each translation eagerly at insert time
             # through the content-addressed compiled-code cache, instead of
-            # lazily inside the dispatch loop.
+            # lazily inside the dispatch loop.  A runner-compilation
+            # failure quarantines the block into the IR interpreter
+            # instead of killing the run.
             def _eager_compile(t):
-                t.compiled_fn = self.hostcpu.compile_fn(t.code)
+                try:
+                    t.compiled_fn = self.hostcpu.compile_fn(t.code)
+                except Exception as exc:
+                    if not self._quarantine_existing(t, exc):
+                        raise
 
             self.transtab.set_compiler(_eager_compile)
         self.smc = SmcPolicy(options.smc_check, self._fetch_exact)
@@ -261,11 +290,16 @@ class Scheduler:
             track_stack_events=events.tracks_stack_events,
         )
         self.translator.disasm._chase_ok = self._chase_ok
+        if self.injector is not None:
+            self.translator.fail_hook = self.injector.jit_failure
         self.dispatcher = Dispatcher(
             self.transtab, self.hostcpu, options, smc_recheck=self.smc.recheck
         )
+        self.dispatcher.fault_recover = self._recover_fault
+        self.dispatcher.signals_pending = self._signals_pending
         self.wrappers = SyscallWrappers(
-            events, kernel, self, on_code_unmapped=self._on_code_unmapped
+            events, kernel, self, on_code_unmapped=self._on_code_unmapped,
+            injector=self.injector,
         )
         if SP_TRACK_HELPER not in helpers:
             helpers.register_dirty(SP_TRACK_HELPER, _track_sp_change)
@@ -310,6 +344,124 @@ class Scheduler:
     def guest_insns(self) -> int:
         return self.dispatcher.guest_insns
 
+    # -- precise synchronous faults -----------------------------------------------------
+
+    def _signals_pending(self) -> bool:
+        """Dispatcher poll hook: did an async signal become pending?"""
+        k = self.kernel
+        k.check_timers(self.guest_insns())
+        return k.has_pending(self.current_tid)
+
+    def _siginfo_for(self, exc, pc: int) -> SigInfo:
+        """Classify an escaped guest exception."""
+        if isinstance(exc, GuestFault):
+            return SigInfo(K.SIGSEGV, addr=exc.addr, access=exc.access, pc=pc)
+        if isinstance(exc, ZeroDivisionError):
+            return SigInfo(K.SIGFPE, addr=pc, access="fpe", pc=pc)
+        return SigInfo(K.SIGILL, addr=pc, access="ill", pc=pc)
+
+    def _recover_fault(self, ts, snapshot: bytes, t, exc) -> Tuple[SigInfo, int]:
+        """Commit *ts* exactly to the faulting instruction boundary.
+
+        A fault escaping mid-block leaves the guest state wherever the
+        optimised code's PUTs happened to be — opt2 may have sunk or
+        coalesced them past instruction boundaries.  Recovery rolls the
+        state back to the block-entry *snapshot* and replays the block one
+        instruction at a time on the reference CPU until the fault
+        reproduces; RefCPU semantics commit nothing before raising, so its
+        state at that point IS the precise boundary (registers, CC thunk
+        and PC of the faulting instruction).
+
+        Replay is deterministic because the block's own stores were
+        already committed once with the same inputs (re-applying them is
+        idempotent).  Known limit: a location read and *later* overwritten
+        within the same faulting prefix replays the overwritten value;
+        none of our front-end's single-instruction expansions do this.
+        Dirty/tool helpers are not replayed, so shadow state keeps the
+        partial run's effects — shadow precision at fault points is not an
+        architected-state property.
+
+        Returns (SigInfo, completed guest instructions — counting the
+        faulting attempt, as the native engine does).
+        """
+        self.faults_recovered += 1
+        saved = bytes(ts.data[:GUEST_STATE_SIZE])  # partial, maybe imprecise
+        cpu = self._replay_cpu
+        if cpu is None:
+            cpu = self._replay_cpu = RefCPU(self.memory)
+        ts.data[:GUEST_STATE_SIZE] = snapshot
+        ts.store_to_cpu(cpu)
+        cap = max(1024, 8 * (t.stats.guest_insns or 1))
+        steps = 0
+        si: Optional[SigInfo] = None
+        while steps <= cap and t.covers(cpu.pc):
+            pc = cpu.pc
+            try:
+                trap = cpu.step()
+            except GuestFault as f:
+                si = SigInfo(K.SIGSEGV, addr=f.addr, access=f.access, pc=pc)
+                break
+            except ZeroDivisionError:
+                si = SigInfo(K.SIGFPE, addr=pc, access="fpe", pc=pc)
+                break
+            except CPUError:
+                si = SigInfo(K.SIGILL, addr=pc, access="ill", pc=pc)
+                break
+            steps += 1
+            if trap is not None:
+                break  # a trap is a block boundary; the fault is gone
+        if si is not None:
+            ts.load_from_cpu(cpu)
+            return si, steps + 1
+        # The fault did not reproduce (imprecise-replay corner): fall back
+        # to the state the faulting execution left behind.
+        ts.data[:GUEST_STATE_SIZE] = saved
+        return self._siginfo_for(exc, ts.pc), steps + 1
+
+    # -- JIT quarantine (graceful degradation) -----------------------------------------
+
+    def _attach_interp_runner(self, t) -> None:
+        """Give *t* interpreter-backed runners for both dispatch loops."""
+        runner = make_interp_runner(
+            t.irsb, self.hostcpu.helpers, self.env, self.memory
+        )
+        t.compiled_fn = runner  # perf loop
+        cpu = self.hostcpu
+
+        def _closure():  # default loop: one hostcpu.run closure
+            jk, icnt = runner(cpu.ts)
+            cpu._exit_icnt = icnt
+            return jk
+
+        t.compiled = [_closure]
+
+    def _quarantine_translation(self, addr: int, exc) -> Optional[object]:
+        """Build an interpreter-executed translation for *addr* after an
+        internal JIT failure; None if even that is impossible."""
+        self.core.log(
+            f"JIT failure for block at {addr:#x} ({exc!r}); "
+            "quarantining to IR interpreter"
+        )
+        try:
+            t = self.translator.translate_interp(addr)
+            self._attach_interp_runner(t)
+        except Exception:
+            return None
+        self.quarantined_blocks += 1
+        return t
+
+    def _quarantine_existing(self, t, exc) -> bool:
+        """Quarantine an already-translated block whose runner compilation
+        failed (perf insert-time path); True on success."""
+        q = self._quarantine_translation(t.guest_addr, exc)
+        if q is None:
+            return False
+        t.quarantined = True
+        t.irsb = q.irsb
+        t.compiled_fn = q.compiled_fn
+        t.compiled = q.compiled
+        return True
+
     # -- engine interface for the kernel ----------------------------------------------
 
     def create_thread(self, entry: int, sp: int, arg: int) -> int:
@@ -351,17 +503,63 @@ class Scheduler:
 
     # -- signals ------------------------------------------------------------------------
 
-    def _deliver_signal(self, tid: int, sig: int) -> None:
+    def _handler_runnable(self, handler: int) -> bool:
+        """A handler must point into mapped executable memory."""
+        try:
+            self.memory.fetch(handler, 1)
+            return True
+        except GuestFault:
+            return False
+
+    def _fatal(self, tid: int, sig: int, siginfo: Optional[SigInfo]) -> None:
+        """Default-fatal delivery: report Valgrind-style and terminate."""
+        self.fatal_signal = sig
+        self.fault_info = siginfo
+        self._exit = ProcessExit(128 + sig)
+        pid = self.kernel.pid
+        name = K.SIGNAL_NAMES.get(sig, str(sig))
+        log = self.core.log
+        log(f"=={pid}== ")
+        log(f"=={pid}== Process terminating with default action of "
+            f"signal {sig} ({name})")
+        if siginfo is not None:
+            log(f"=={pid}==   {siginfo.describe()}")
+        for i, pc in enumerate(self.env.stack_trace_pcs()):
+            frame = self.core._symbolise(pc)
+            where = "at" if i == 0 else "by"
+            sym = f": {frame.symbol}+{frame.offset:#x}" if frame.symbol else ""
+            loc = f" ({frame.location})" if frame.location else ""
+            log(f"=={pid}==    {where} {pc:#010x}{sym}{loc}")
+
+    def _deliver_signal(self, tid: int, sig: int,
+                        siginfo: Optional[SigInfo] = None) -> None:
         ts = self.threads.get(tid)
         if ts is None:
             return
+        if sig == K.SIGKILL:
+            # SIGKILL cannot be caught: fatal even if a (stale, corrupt)
+            # handler table entry exists.
+            self._fatal(tid, sig, siginfo)
+            return
         handler = self.kernel.handler_for(sig)
+        if handler != K.SIG_DFL and not self._handler_runnable(handler):
+            self.core.log(
+                f"=={self.kernel.pid}== handler for signal {sig} at "
+                f"{handler:#x} is not in executable memory; using default"
+            )
+            handler = K.SIG_DFL
         if handler == K.SIG_DFL:
             if sig in K.FATAL_BY_DEFAULT:
-                self.fatal_signal = sig
-                self._exit = ProcessExit(128 + sig)
+                self._fatal(tid, sig, siginfo)
             return
-        push_signal_frame(_TsCtx(ts), self.memory, sig, handler, SIGPAGE_ADDR)
+        try:
+            push_signal_frame(_TsCtx(ts), self.memory, sig, handler,
+                              SIGPAGE_ADDR, siginfo)
+        except GuestFault:
+            # Cannot even write the frame (corrupt SP): force-fatal, as a
+            # real kernel does when signal delivery itself faults.
+            self._fatal(tid, K.SIGSEGV, siginfo)
+            return
         # The frame is kernel-written guest memory: tell the tool.
         self.events.fire(
             "post_mem_write", tid, (ts.sp) & M32, FRAME_PUSH, "signal frame"
@@ -369,12 +567,13 @@ class Scheduler:
 
     def _check_signals(self, tid: int) -> None:
         self.kernel.check_timers(self.guest_insns())
-        sig = self.kernel.next_pending(tid)
-        if sig is not None:
-            self._deliver_signal(tid, sig)
+        entry = self.kernel.next_pending_info(tid)
+        if entry is not None:
+            self._deliver_signal(tid, entry[0], entry[1])
 
-    def post_fault(self, tid: int, sig: int) -> None:
-        self.kernel.post_signal(tid, sig)
+    def post_fault(self, tid: int, sig: int,
+                   siginfo: Optional[SigInfo] = None) -> None:
+        self.kernel.post_signal(tid, sig, siginfo)
 
     # -- trap handlers --------------------------------------------------------------------
 
@@ -442,7 +641,15 @@ class Scheduler:
                     self._run_queue.append(tid)
             if not self._run_queue:
                 if blocked:
-                    raise RuntimeError("deadlock: all client threads blocked")
+                    # A guest-caused condition, not a host error: finish
+                    # with a clean outcome the harness can inspect.
+                    self.stopped_reason = "deadlock"
+                    self.core.log(
+                        f"=={self.kernel.pid}== process deadlocked: "
+                        "all client threads blocked; terminating"
+                    )
+                    self._exit = ProcessExit(EXIT_DEADLOCK)
+                    break
                 self._exit = ProcessExit(0)
                 break
             tid = self._run_queue.pop(0)
@@ -460,17 +667,33 @@ class Scheduler:
                     break
                 if total_budget is not None:
                     if self.dispatcher.stats.blocks_executed >= total_budget:
-                        raise RuntimeError("block budget exhausted")
+                        self.stopped_reason = "block-budget"
+                        self._exit = ProcessExit(EXIT_BLOCK_BUDGET)
+                        break
+                if self.injector is not None:
+                    event = self.injector.dispatch_event()
+                    if event is not None:
+                        self._inject_dispatch_event(tid, ts, event)
+                        continue
                 try:
                     reason, payload = self.dispatcher.run(ts, max_blocks=slice_left)
-                except GuestFault:
-                    self.post_fault(tid, K.SIGSEGV)
-                    continue
-                except ZeroDivisionError:
-                    self.post_fault(tid, K.SIGFPE)
+                except (GuestFault, ZeroDivisionError) as exc:
+                    # Backstop (e.g. --precise-faults=no): classify the
+                    # fault from the exception at the current state.
+                    si = self._siginfo_for(exc, ts.pc)
+                    self.post_fault(tid, si.sig, si)
                     continue
                 if reason == "quantum":
                     slice_left -= self.options.dispatch_quantum
+                    continue
+                if reason == "signals":
+                    # A pending async signal was observed mid-quantum.
+                    slice_left -= max(1, payload)
+                    continue
+                if reason == "fault":
+                    # Precise synchronous fault: the dispatcher already
+                    # committed the faulting instruction boundary.
+                    self.post_fault(tid, payload.sig, payload)
                     continue
                 if reason == "translate":
                     if not self._make_translation(tid, payload):
@@ -495,6 +718,14 @@ class Scheduler:
                     except ProcessExit as exc:
                         self._exit = exc
                         break
+                    except GuestFault as f:
+                        # A wrapper touched a bad guest pointer before the
+                        # kernel could return EFAULT: treat as the fault
+                        # the access was.
+                        si = SigInfo(K.SIGSEGV, addr=f.addr, access=f.access,
+                                     pc=ts.pc)
+                        self.post_fault(tid, K.SIGSEGV, si)
+                        continue
                     if tid not in self.threads:
                         reschedule = False
                         break
@@ -505,8 +736,10 @@ class Scheduler:
                     except ProcessExit as exc:
                         self._exit = exc
                         break
-                    except GuestFault:
-                        self.post_fault(tid, K.SIGSEGV)
+                    except GuestFault as f:
+                        self.post_fault(tid, K.SIGSEGV,
+                                        SigInfo(K.SIGSEGV, addr=f.addr,
+                                                access=f.access, pc=ts.pc))
                     if tid not in self.threads:
                         reschedule = False
                         break
@@ -517,13 +750,19 @@ class Scheduler:
                 if jk == JumpKind.Yield.value:
                     break  # voluntary switch
                 if jk == JumpKind.SigFPE.value:
-                    self.post_fault(tid, K.SIGFPE)
+                    # The guard exit set ts.pc to the faulting instruction.
+                    self.post_fault(tid, K.SIGFPE,
+                                    SigInfo(K.SIGFPE, addr=ts.pc, access="fpe",
+                                            pc=ts.pc))
                     continue
                 if jk == JumpKind.SigSEGV.value:
-                    self.post_fault(tid, K.SIGSEGV)
+                    self.post_fault(tid, K.SIGSEGV,
+                                    SigInfo(K.SIGSEGV, addr=ts.pc, pc=ts.pc))
                     continue
                 if jk == JumpKind.NoDecode.value:
-                    self.post_fault(tid, K.SIGILL)
+                    self.post_fault(tid, K.SIGILL,
+                                    SigInfo(K.SIGILL, addr=ts.pc, access="ill",
+                                            pc=ts.pc))
                     continue
                 raise RuntimeError(f"unhandled jump kind {jk}")
             self.big_lock.release(tid)
@@ -537,7 +776,26 @@ class Scheduler:
             blocks_executed=self.dispatcher.stats.blocks_executed,
             guest_insns=self.guest_insns(),
             translations=self.translator.translations_made,
+            stopped_reason=self.stopped_reason,
+            fault_info=self.fault_info,
         )
+
+    def _inject_dispatch_event(self, tid: int, ts, event: str) -> None:
+        """Apply one scheduled --inject dispatch event."""
+        if event == "segv":
+            si = SigInfo(K.SIGSEGV, addr=ts.pc, access="synthetic", pc=ts.pc)
+            self.post_fault(tid, K.SIGSEGV, si)
+        elif event == "smc-flush":
+            # Spurious self-modifying-code invalidation of the current
+            # block (exercises discard + retranslate).
+            t = self.transtab.lookup(ts.pc)
+            if t is not None:
+                self.transtab.discard(t.guest_addr)
+                self.dispatcher.flush_cache()
+        elif event == "evict":
+            # Forced eviction round (exercises chain severing).
+            self.transtab.evict_chunk()
+            self.dispatcher.flush_cache()
 
     def _make_translation(self, tid: int, pc: int) -> bool:
         """Translate the block at *pc* (honouring redirects); False if a
@@ -545,15 +803,31 @@ class Scheduler:
         target = self.redirector.resolve(pc)
         try:
             t = self.translator.translate(target)
-        except TranslationFault:
-            self.post_fault(tid, K.SIGSEGV)
+        except TranslationFault as exc:
+            addr = getattr(exc, "addr", pc)
+            self.post_fault(tid, K.SIGSEGV,
+                            SigInfo(K.SIGSEGV, addr=addr, access="exec", pc=pc))
             return False
-        except GuestFault:
-            self.post_fault(tid, K.SIGSEGV)
+        except GuestFault as exc:
+            self.post_fault(tid, K.SIGSEGV,
+                            SigInfo(K.SIGSEGV, addr=exc.addr, access=exc.access,
+                                    pc=pc))
             return False
         except CPUError:
-            self.post_fault(tid, K.SIGILL)
+            self.post_fault(tid, K.SIGILL,
+                            SigInfo(K.SIGILL, addr=pc, access="ill", pc=pc))
             return False
+        except ProcessExit:
+            raise
+        except Exception as exc:
+            # An internal error in the translation pipeline (isel,
+            # regalloc, assembly, an injected JIT failure, ...) must not
+            # kill the run: quarantine the block into the IR interpreter.
+            t = self._quarantine_translation(target, exc)
+            if t is None:
+                self.post_fault(tid, K.SIGILL,
+                                SigInfo(K.SIGILL, addr=pc, access="ill", pc=pc))
+                return False
         t.guest_addr = pc  # key under the *requested* address
         ts = self.threads[tid]
         t.smc_checked = self.smc.should_check(t, ts.stack_base, ts.stack_limit)

@@ -57,11 +57,13 @@ class SyscallWrappers:
         kernel: Kernel,
         engine,
         on_code_unmapped: Optional[Callable[[int, int], None]] = None,
+        injector=None,
     ):
         self.events = events
         self.kernel = kernel
         self.engine = engine
         self.on_code_unmapped = on_code_unmapped or (lambda a, s: None)
+        self.injector = injector
         self._specs = self._build_specs()
         #: How many syscalls were wrapped (stats for tests/benches).
         self.count = 0
@@ -90,6 +92,14 @@ class SyscallWrappers:
                     "pre_reg_read", tid, gpr_offset(1 + i), 4, f"{name}(arg{i + 1})"
                 )
 
+        if not from_host and self.injector is not None:
+            injected = self._injected_failure(num)
+            if injected is not None:
+                if spec and spec.pre is not None:
+                    spec.pre(self, tid, a1, a2, a3)
+                ev.fire("post_reg_write", tid, gpr_offset(0), 4, name)
+                return injected
+
         if spec and spec.pre is not None:
             short = spec.pre(self, tid, a1, a2, a3)
             if short is not None:
@@ -108,6 +118,16 @@ class SyscallWrappers:
         if not from_host:
             ev.fire("post_reg_write", tid, gpr_offset(0), 4, name)
         return result
+
+    def _injected_failure(self, num: int) -> Optional[int]:
+        """Consult the fault injector for a synthetic errno for this call."""
+        if num in (K.SYS_MMAP, K.SYS_BRK, K.SYS_MREMAP):
+            if self.injector.mmap_enomem():
+                return (-ENOMEM) & M32
+        elif num in (K.SYS_READ, K.SYS_WRITE, K.SYS_OPEN):
+            if self.injector.eintr():
+                return (-K.EINTR) & M32
+        return None
 
     # -- per-syscall pre/post handlers ---------------------------------------------------
 

@@ -95,6 +95,12 @@ class Translation:
     #: True if the SMC hash must be re-checked before every execution
     #: (Section 3.16: by default, only translations of on-stack code).
     smc_checked: bool = False
+    #: True if the JIT back-end failed for this block and it executes
+    #: through the IR interpreter instead (graceful degradation).
+    quarantined: bool = False
+    #: The instrumented flat IR, kept only for quarantined translations
+    #: (the interpreter runner executes it directly).
+    irsb: Optional[IRSB] = None
 
     @property
     def guest_len(self) -> int:
@@ -179,6 +185,10 @@ class Translator:
         self.collect_phase_times = collect_phase_times
         #: Cumulative pipeline statistics.
         self.translations_made = 0
+        #: Fault-injection hook, called with the block address just before
+        #: instruction selection; may raise to simulate an internal JIT
+        #: failure (exercises the quarantine path).
+        self.fail_hook: Optional[Callable[[int], None]] = None
 
     def translate(self, addr: int) -> Translation:
         """Translate the code block at guest address *addr*."""
@@ -245,6 +255,8 @@ class Translator:
         t0 = tick("treebuild", t0)
 
         # Phase 6: instruction selection.
+        if self.fail_hook is not None:
+            self.fail_hook(addr)
         vcode = select(tree)
         t0 = tick("isel", t0)
 
@@ -270,6 +282,126 @@ class Translator:
             smc_hash=smc_hash,
             stats=stats,
         )
+
+
+    def translate_interp(self, addr: int) -> Translation:
+        """Build an interpreter-backed translation for the block at *addr*.
+
+        Runs only the front half of the pipeline — disassembly, flattening
+        and instrumentation — and stores the flat IR on the translation for
+        direct execution by :func:`make_interp_runner`.  Used as the
+        graceful-degradation path when the JIT back-end (isel / regalloc /
+        runner compilation) fails for one block: the guest keeps running,
+        just slower, instead of the whole process dying.
+        """
+        opts = self.options
+        stats = TranslationStats()
+        sb = self.disasm.disasm_block(addr)
+        stats.guest_insns = sum(1 for s in sb.stmts if isinstance(s, IMark))
+        stats.stmts_disasm = sb.num_real_stmts()
+        ranges = _imark_ranges(sb)
+
+        from ..opt.flatten import flatten
+
+        sb = flatten(sb)
+        try:
+            inst = self.tool.instrument(sb)
+            if self.track_stack_events:
+                inst = add_sp_tracking(inst)
+            validate(inst, flat=True)
+            sb = inst
+        except Exception:
+            # The tool's instrumentation may itself be what broke; a
+            # quarantined block runs uninstrumented rather than not at all.
+            pass
+        stats.stmts_instrumented = sb.num_real_stmts()
+
+        smc_hash = None
+        if opts.smc_check != "none":
+            smc_hash = hash_guest_ranges(self._fetch, ranges)
+
+        self.translations_made += 1
+        return Translation(
+            guest_addr=addr,
+            code=b"",
+            ranges=ranges,
+            smc_hash=smc_hash,
+            stats=stats,
+            quarantined=True,
+            irsb=sb,
+        )
+
+
+def make_interp_runner(sb: IRSB, helpers, env, mem):
+    """Build a block runner executing *sb* through the IR interpreter.
+
+    The result has the same signature as a perf-mode compiled runner —
+    ``runner(ts) -> (jump-kind, guest_insns)`` — so quarantined
+    translations plug into both dispatch loops unchanged.
+    """
+    from ..ir.interp import IRInterpreter
+    from ..ir.stmt import Exit, NoOp, Store, WrTmp
+
+    interp = IRInterpreter(helpers, env)
+    stmts = sb.stmts
+    jk_final = sb.jumpkind.value
+    nxt_expr = sb.next
+    M32 = 0xFFFFFFFF
+
+    class _State:
+        __slots__ = ("ts",)
+
+        def __init__(self, ts):
+            self.ts = ts
+
+        def get(self, offset, ty):
+            return self.ts.get(offset, ty)
+
+        def put(self, offset, ty, value):
+            self.ts.put(offset, ty, value)
+
+        def load(self, addr, ty):
+            return mem.load(addr & M32, ty)
+
+        def store(self, addr, ty, value):
+            mem.store(addr & M32, ty, value)
+
+    def runner(ts):
+        state = _State(ts)
+        ev = interp.eval_expr
+        tmps: dict = {}
+        icnt = 0
+        for s in stmts:
+            cls = s.__class__
+            if cls is WrTmp:
+                tmps[s.tmp] = ev(s.data, tmps, state)
+            elif cls is IMark:
+                icnt += 1
+            elif cls is Put:
+                state.put(s.offset, sb.type_of(s.data), ev(s.data, tmps, state))
+            elif cls is Store:
+                a = ev(s.addr, tmps, state)
+                state.store(a, sb.type_of(s.data), ev(s.data, tmps, state))
+            elif cls is Exit:
+                if ev(s.guard, tmps, state):
+                    ts.pc = s.dst & M32
+                    return (s.jumpkind.value, icnt)
+            elif cls is Dirty:
+                if s.guard is not None and not ev(s.guard, tmps, state):
+                    continue
+                h = interp.helpers.lookup(s.callee)
+                args = [ev(a, tmps, state) for a in s.args]
+                ret = h.fn(*args) if h.pure else h.fn(interp.env, *args)
+                if s.tmp is not None:
+                    tmps[s.tmp] = ret
+            elif cls is NoOp:
+                continue
+            else:  # pragma: no cover
+                raise RuntimeError(f"cannot interpret {s!r}")
+        ts.pc = ev(nxt_expr, tmps, state) & M32
+        return (jk_final, icnt)
+
+    return runner
 
 
 def hash_guest_ranges(

@@ -182,6 +182,11 @@ class TranslationTable:
                 return
         raise RuntimeError("translation table unexpectedly full")
 
+    def evict_chunk(self) -> None:
+        """Force one eviction round (fault injection / stress testing)."""
+        if self._used:
+            self._evict_chunk()
+
     def _evict_chunk(self) -> None:
         """Drop the oldest 1/8th of stored translations (FIFO by insertion
         order, or LRU by last use when the ablation policy is selected)."""

@@ -163,6 +163,12 @@ class Valgrind:
             },
             "smc": {"checks": sched.smc.checks, "misses": sched.smc.misses},
             "translations_made": sched.translator.translations_made,
+            "robustness": {
+                "quarantined_blocks": sched.quarantined_blocks,
+                "faults_recovered": sched.faults_recovered,
+                "stopped_reason": sched.stopped_reason,
+                "injection": sched.injector.stats() if sched.injector else None,
+            },
         }
         if outcome is not None:
             out["exit_code"] = outcome.exit_code

@@ -25,6 +25,7 @@ from collections import deque
 
 from .fs import FileSystem, FsError
 from .memory import (
+    GuestFault,
     GuestMemory,
     PAGE_SIZE,
     PROT_READ,
@@ -108,11 +109,65 @@ FATAL_BY_DEFAULT = {
 
 SIG_DFL = 0
 
+SIGNAL_NAMES = {
+    SIGHUP: "SIGHUP",
+    SIGINT: "SIGINT",
+    SIGILL: "SIGILL",
+    SIGFPE: "SIGFPE",
+    SIGKILL: "SIGKILL",
+    SIGUSR1: "SIGUSR1",
+    SIGSEGV: "SIGSEGV",
+    SIGUSR2: "SIGUSR2",
+    SIGALRM: "SIGALRM",
+    SIGTERM: "SIGTERM",
+}
+
 # errno-style failures: syscalls return -errno & M32.
 EINVAL = 22
 ENOMEM = 12
 ESRCH = 3
+EINTR = 4
 EFAULT = 14
+
+
+@dataclass(frozen=True)
+class SigInfo:
+    """What caused a synchronous signal (the siginfo_t analogue).
+
+    Carried alongside the signal number through the pending queues and
+    into the signal frame, so guest handlers and the fatal-path reporter
+    can see the faulting address and access kind.
+    """
+
+    sig: int
+    #: Faulting guest address (the accessed address for SIGSEGV, the
+    #: faulting instruction address for SIGILL/SIGFPE; 0 if unknown).
+    addr: int = 0
+    #: Access kind: "read" | "write" | "exec" | "fpe" | "ill" |
+    #: "synthetic" | "" (async / unknown).
+    access: str = ""
+    #: PC of the faulting guest instruction (0 for async signals).
+    pc: int = 0
+
+    def describe(self) -> str:
+        name = SIGNAL_NAMES.get(self.sig, f"signal {self.sig}")
+        if self.access in ("read", "write", "exec"):
+            return (f"{name}: bad {self.access} at address {self.addr:#x} "
+                    f"(pc={self.pc:#x})")
+        if self.access == "fpe":
+            return f"{name}: integer division by zero at pc={self.pc:#x}"
+        if self.access == "ill":
+            return f"{name}: illegal/undecodable instruction at pc={self.pc:#x}"
+        if self.access == "synthetic":
+            return f"{name}: injected fault at pc={self.pc:#x}"
+        return name
+
+
+#: Numeric access-kind codes stored in signal frames (siginfo word 2).
+ACCESS_CODES = {
+    "": 0, "read": 1, "write": 2, "exec": 3, "fpe": 4, "ill": 5,
+    "synthetic": 6,
+}
 
 #: Special syscall results directing the engine.
 BLOCKED = "blocked"
@@ -147,8 +202,10 @@ class Kernel:
     forbidden: List[Tuple[int, int]] = field(default_factory=list)
     #: Per-signal handler addresses (SIG_DFL = 0).
     handlers: Dict[int, int] = field(default_factory=dict)
-    #: Per-thread pending signal queues.
-    pending: Dict[int, Deque[int]] = field(default_factory=dict)
+    #: Per-thread pending signal queues of (sig, Optional[SigInfo]).
+    pending: Dict[int, Deque[Tuple[int, Optional[SigInfo]]]] = field(
+        default_factory=dict
+    )
     #: Armed virtual timers: (due instruction count, tid, signal).
     timers: List[Tuple[int, int, int]] = field(default_factory=list)
     #: Virtual-clock offset applied by settime.
@@ -180,11 +237,18 @@ class Kernel:
 
     # -- signals -------------------------------------------------------------------
 
-    def post_signal(self, tid: int, sig: int) -> None:
-        """Queue *sig* for thread *tid*."""
-        self.pending.setdefault(tid, deque()).append(sig)
+    def post_signal(self, tid: int, sig: int,
+                    siginfo: Optional[SigInfo] = None) -> None:
+        """Queue *sig* for thread *tid* (with optional fault details)."""
+        self.pending.setdefault(tid, deque()).append((sig, siginfo))
 
     def next_pending(self, tid: int) -> Optional[int]:
+        """Pop the next pending signal number (compatibility helper)."""
+        entry = self.next_pending_info(tid)
+        return None if entry is None else entry[0]
+
+    def next_pending_info(self, tid: int) -> Optional[Tuple[int, Optional[SigInfo]]]:
+        """Pop the next pending (signal, siginfo) pair for *tid*."""
         q = self.pending.get(tid)
         if q:
             return q.popleft()
@@ -296,6 +360,11 @@ class Kernel:
                 return 0
         except FsError as exc:
             return (-exc.errno) & M32
+        except GuestFault:
+            # A bad guest pointer handed to the kernel (read buffer,
+            # string, struct) fails the call, as a real kernel's
+            # copy_{from,to}_user would — never the host process.
+            return (-EFAULT) & M32
         return (-EINVAL) & M32  # unknown syscall
 
     # -- memory syscalls ------------------------------------------------------------------

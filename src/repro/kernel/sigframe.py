@@ -14,16 +14,21 @@ signal semantics cannot drift between them.
 from __future__ import annotations
 
 import struct
-from typing import Protocol
+from typing import Optional, Protocol
 
 from ..guest.regs import SP
-from .kernel import SYS_SIGRETURN
+from .kernel import ACCESS_CODES, SigInfo, SYS_SIGRETURN
 from .memory import GuestMemory, PAGE_SIZE, PROT_RX
 
 M32 = 0xFFFFFFFF
 
-#: Saved context: r0..r7 (32) + cc thunk (16) + pc (4) + signal (4).
-FRAME_SIZE = 56
+#: Saved context: r0..r7 (32) + cc thunk (16) + pc (4) + signal (4)
+#: + siginfo fault address (4) + siginfo access-kind code (4).
+FRAME_SIZE = 64
+#: Offsets of the siginfo words within the frame (handlers can read them
+#: at [sp + 8 + SIGINFO_*_OFF] on entry, since sp = frame - 8).
+SIGINFO_ADDR_OFF = 56
+SIGINFO_CODE_OFF = 60
 #: Room for the handler argument and its return address.
 FRAME_PUSH = FRAME_SIZE + 8
 
@@ -56,14 +61,15 @@ def install_sigpage(mem: GuestMemory, addr: int) -> None:
 
 
 def push_signal_frame(
-    ctx: RegContext, mem: GuestMemory, sig: int, handler: int, sigpage: int
+    ctx: RegContext, mem: GuestMemory, sig: int, handler: int, sigpage: int,
+    siginfo: Optional[SigInfo] = None,
 ) -> None:
     """Save the interrupted context and redirect to *handler*."""
     sp = ctx.get_reg(SP)
     frame = (sp - FRAME_SIZE) & M32
     op, dep1, dep2, ndep = ctx.get_thunk()
     blob = struct.pack(
-        "<8I4I2I",
+        "<8I4I2I2I",
         *[ctx.get_reg(i) for i in range(8)],
         op,
         dep1,
@@ -71,6 +77,8 @@ def push_signal_frame(
         ndep,
         ctx.get_pc(),
         sig,
+        (siginfo.addr & M32) if siginfo is not None else 0,
+        ACCESS_CODES.get(siginfo.access, 0) if siginfo is not None else 0,
     )
     mem.write(frame, blob)
     # Handler argument and return address (the trampoline).
@@ -89,7 +97,7 @@ def pop_signal_frame(ctx: RegContext, mem: GuestMemory) -> int:
     """
     frame = (ctx.get_reg(SP) + 4) & M32
     blob = mem.read(frame, FRAME_SIZE)
-    vals = struct.unpack("<8I4I2I", blob)
+    vals = struct.unpack("<8I4I2I2I", blob)
     for i in range(8):
         ctx.set_reg_(i, vals[i])
     ctx.set_thunk(vals[8], vals[9], vals[10], vals[11])

@@ -32,8 +32,10 @@ from .kernel.kernel import (
     SIG_DFL,
     SIGFPE,
     SIGILL,
+    SIGKILL,
     SIGSEGV,
     SYSCALL_NAMES,
+    SigInfo,
 )
 from .kernel.memory import GuestFault, GuestMemory, PROT_RWX
 from .kernel.sigframe import pop_signal_frame, push_signal_frame
@@ -105,6 +107,8 @@ class NativeResult:
     stderr: str
     #: Signal that killed the process, if any.
     fatal_signal: Optional[int] = None
+    #: Precise description of the fault behind *fatal_signal*, if any.
+    fault_info: Optional[SigInfo] = None
 
 
 class NativeRunner:
@@ -129,6 +133,7 @@ class NativeRunner:
         self._insns_retired = 0
         self._exit: Optional[ProcessExit] = None
         self.fatal_signal: Optional[int] = None
+        self.fault_info: Optional[SigInfo] = None
         self._next_thread_stack = THREAD_STACK_REGION
 
         tid = self._new_thread(self.program.entry, self.program.initial_sp)
@@ -183,23 +188,47 @@ class NativeRunner:
         self._run_queue.append(tid)
         return tid
 
-    def _deliver_signal(self, tid: int, sig: int) -> None:
+    def _handler_runnable(self, handler: int) -> bool:
+        """A registered handler must point into mapped executable memory."""
+        try:
+            self.memory.fetch(handler, 1)
+        except GuestFault:
+            return False
+        return True
+
+    def _fatal(self, sig: int, siginfo: Optional[SigInfo]) -> None:
+        self.fatal_signal = sig
+        self.fault_info = siginfo
+        self._exit = ProcessExit(128 + sig)
+
+    def _deliver_signal(self, tid: int, sig: int,
+                        siginfo: Optional[SigInfo] = None) -> None:
         cpu = self.cpus.get(tid)
         if cpu is None:
             return
+        if sig == SIGKILL:
+            # SIGKILL cannot be caught, even with a stale handler entry.
+            self._fatal(sig, siginfo)
+            return
         handler = self.kernel.handler_for(sig)
+        if handler != SIG_DFL and not self._handler_runnable(handler):
+            handler = SIG_DFL  # unmapped handler: default disposition
         if handler == SIG_DFL:
             if sig in FATAL_BY_DEFAULT:
-                self.fatal_signal = sig
-                self._exit = ProcessExit(128 + sig)
+                self._fatal(sig, siginfo)
             return  # ignored by default
-        push_signal_frame(_CpuCtx(cpu), self.memory, sig, handler, SIGPAGE_ADDR)
+        try:
+            push_signal_frame(_CpuCtx(cpu), self.memory, sig, handler,
+                              SIGPAGE_ADDR, siginfo=siginfo)
+        except GuestFault:
+            # No stack to build the frame on: the fault is fatal.
+            self._fatal(SIGSEGV, siginfo)
 
     def _check_signals(self, tid: int) -> None:
         self.kernel.check_timers(self.guest_insns())
-        sig = self.kernel.next_pending(tid)
-        if sig is not None:
-            self._deliver_signal(tid, sig)
+        pair = self.kernel.next_pending_info(tid)
+        if pair is not None:
+            self._deliver_signal(tid, pair[0], pair[1])
 
     def run(self, max_insns: Optional[int] = None) -> NativeResult:
         """Round-robin the runnable threads until exit (or budget)."""
@@ -238,22 +267,29 @@ class NativeRunner:
                 slice_insns = min(slice_insns, remaining)
             try:
                 trap = cpu.run(slice_insns)
-            except GuestFault:
-                self.kernel.post_signal(tid, SIGSEGV)
+            except GuestFault as f:
+                # RefCPU commits nothing before raising: cpu.pc is the
+                # exact faulting instruction boundary.
+                si = SigInfo(SIGSEGV, addr=f.addr, access=f.access, pc=cpu.pc)
+                self.kernel.post_signal(tid, SIGSEGV, si)
                 self._check_signals(tid)
                 if self._exit is not None:
                     break
                 self._run_queue.append(tid)
                 continue
             except ZeroDivisionError:
-                self.kernel.post_signal(tid, SIGFPE)
+                si = SigInfo(SIGFPE, addr=cpu.pc, access="fpe", pc=cpu.pc)
+                self.kernel.post_signal(tid, SIGFPE, si)
                 self._check_signals(tid)
                 if self._exit is not None:
                     break
                 self._run_queue.append(tid)
                 continue
-            except CPUError:
-                self.kernel.post_signal(tid, SIGILL)
+            except CPUError as e:
+                pc = getattr(e, "pc", None)
+                pc = cpu.pc if pc is None else pc
+                si = SigInfo(SIGILL, addr=pc, access="ill", pc=pc)
+                self.kernel.post_signal(tid, SIGILL, si)
                 self._check_signals(tid)
                 if self._exit is not None:
                     break
@@ -307,6 +343,7 @@ class NativeRunner:
             stdout=self.fs.stdout_text(),
             stderr=self.fs.stderr_text(),
             fatal_signal=self.fatal_signal,
+            fault_info=self.fault_info,
         )
 
 

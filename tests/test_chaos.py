@@ -1,0 +1,232 @@
+"""Chaos harness: seeded fault-injection runs must always end cleanly.
+
+Every run below executes under an --inject plan that fails syscalls,
+posts synthetic faults, flushes translations, evicts table chunks or
+breaks the JIT mid-run.  The contract being tested is the paper's
+robustness requirement: whatever happens to the guest, the framework
+itself finishes with a well-formed RunOutcome (normal exit or a guest
+signal) — never a host traceback — and identical plans replay
+identically.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro import Options, run_tool
+from repro.core.faultinject import BadInjectSpec, FaultInjector
+from repro.core.scheduler import EXIT_BLOCK_BUDGET, EXIT_DEADLOCK
+
+from .helpers import asm_image
+
+MAX_BLOCKS = 200_000
+
+#: Exercises the syscall-failure injections: a guest that retries EINTR
+#: and tolerates ENOMEM, so a fault-free plan and a firing plan both end
+#: in a normal exit (with different printed counts).
+ALLOC_IO_SRC = """
+        .text
+main:   movi r6, 0           ; successful mmaps
+        movi r7, 6           ; attempts
+mloop:  movi r0, 7           ; mmap(0, 4096, rw)
+        movi r1, 0
+        movi r2, 4096
+        movi r3, 6
+        syscall
+        test r0, r0
+        js   mfail           ; -ENOMEM: tolerated
+        sti  [r0], 77        ; touch the new page
+        inc  r6
+mfail:  dec  r7
+        jnz  mloop
+        movi r0, 6           ; brk(0): query (also an injection point)
+        movi r1, 0
+        syscall
+        movi r7, 5           ; EINTR-retried writes
+wloop:  movi r3, 3           ; bounded retries per write
+retry:  movi r0, 3           ; write(1, msg, 2)
+        movi r1, 1
+        movi r2, msg
+        push r3
+        movi r3, 2
+        syscall
+        pop  r3
+        test r0, r0
+        jns  wok
+        dec  r3
+        jnz  retry
+wok:    dec  r7
+        jnz  wloop
+        push r6
+        call putint
+        addi sp, 4
+        movi r0, 0
+        push r0
+        call exit
+        .data
+msg:    .asciz "x\\n"
+"""
+
+#: Exercises the dispatch-level injections (segv / smc-flush / evict /
+#: isel): pure compute with a SIGSEGV handler, so even synthetic faults
+#: are absorbed and the final sum is deterministic.
+CPU_SRC = """
+        .text
+main:   movi r0, 11          ; sigaction(SIGSEGV, handler)
+        movi r1, 11
+        movi r2, handler
+        syscall
+        movi r6, 0
+        movi r7, 400
+loop:   mov  r1, r7
+        mul  r1, r7
+        add  r6, r1
+        andi r6, 0xFFFFF
+        dec  r7
+        jnz  loop
+        push r6
+        call putint
+        addi sp, 4
+        movi r0, 0
+        push r0
+        call exit
+handler:
+        ld   r1, [counter]   ; count absorbed synthetic faults
+        inc  r1
+        st   [counter], r1
+        ret
+        .data
+counter: .word 0
+"""
+
+SPECS = [
+    "mmap-enomem@2,eintr:0.2,seed={seed}",
+    "segv@3,smc-flush:0.05,evict:0.02,seed={seed}",
+    "isel@1,eintr:0.1,evict:0.02,mmap-enomem:0.2,seed={seed}",
+]
+SEEDS = range(9)
+
+CONFIGS = list(itertools.product(
+    [("alloc-io", ALLOC_IO_SRC), ("cpu", CPU_SRC)],
+    ["none", "memcheck"],
+    [False, True],
+))
+
+
+def chaos_run(img, tool, perf, inject):
+    opts = Options(log_target="capture", perf=perf, inject=inject)
+    return run_tool(tool, img, options=opts, max_blocks=MAX_BLOCKS)
+
+
+def outcome_fingerprint(res):
+    o = res.outcome
+    return (res.exit_code, res.stdout, o.fatal_signal, o.stopped_reason,
+            o.blocks_executed, o.guest_insns)
+
+
+def assert_well_formed(res, ctx):
+    """The run finished with a legal outcome — never a host crash."""
+    o = res.outcome
+    assert res.exit_code == o.exit_code, ctx
+    if o.fatal_signal is not None:
+        assert 1 <= o.fatal_signal < 32, ctx
+        assert res.exit_code == 128 + o.fatal_signal, ctx
+    elif o.stopped_reason is not None:
+        assert o.stopped_reason in ("deadlock", "block-budget"), ctx
+        assert res.exit_code in (EXIT_BLOCK_BUDGET, EXIT_DEADLOCK), ctx
+
+
+@pytest.mark.parametrize(
+    "prog,tool,perf", CONFIGS,
+    ids=[f"{p[0]}-{t}-{'perf' if f else 'plain'}" for p, t, f in CONFIGS],
+)
+class TestChaosMatrix:
+    """2 programs x 2 tools x 2 modes x 27 seeded plans = 216 runs."""
+
+    def test_injected_runs_always_end_cleanly(self, prog, tool, perf):
+        _, src = prog
+        img = asm_image(src)
+        for spec_tpl in SPECS:
+            for seed in SEEDS:
+                inject = spec_tpl.format(seed=seed)
+                res = chaos_run(img, tool, perf, inject)
+                assert_well_formed(res, (prog[0], tool, perf, inject))
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("perf", [False, True])
+    def test_identical_plans_replay_identically(self, perf):
+        img = asm_image(ALLOC_IO_SRC)
+        for spec_tpl in SPECS:
+            inject = spec_tpl.format(seed=3)
+            a = chaos_run(img, "none", perf, inject)
+            b = chaos_run(img, "none", perf, inject)
+            assert outcome_fingerprint(a) == outcome_fingerprint(b), inject
+
+    @pytest.mark.parametrize("perf", [False, True])
+    def test_neverfiring_plan_is_bit_identical_to_no_plan(self, perf):
+        # An injector whose rules never fire must not perturb the run at
+        # all: fault-free replays stay bit-identical.
+        for src in (ALLOC_IO_SRC, CPU_SRC):
+            img = asm_image(src)
+            base = chaos_run(img, "none", perf, inject=None)
+            armed = chaos_run(img, "none", perf,
+                              inject="mmap-enomem@999999,segv@999999,seed=5")
+            assert outcome_fingerprint(base) == outcome_fingerprint(armed)
+            assert base.exit_code == 0
+
+
+class TestJitQuarantine:
+    @pytest.mark.parametrize("perf", [False, True])
+    @pytest.mark.parametrize("tool", ["none", "memcheck"])
+    def test_isel_failure_degrades_to_interpreter(self, tool, perf):
+        # Acceptance: an injected isel failure quarantines the block into
+        # the IR interpreter; the run finishes with the *correct* output.
+        img = asm_image(CPU_SRC)
+        clean = chaos_run(img, tool, perf, inject=None)
+        assert clean.exit_code == 0
+        broken = chaos_run(img, tool, perf, inject="isel@1,seed=1")
+        assert broken.exit_code == 0
+        assert broken.stdout == clean.stdout
+        assert "quarantining to IR interpreter" in broken.log
+        rob = broken.stats()["robustness"]
+        assert rob["quarantined_blocks"] >= 1
+        assert rob["injection"]["isel"]["fired"] == 1
+
+    def test_every_block_quarantined_still_correct(self):
+        # Degenerate degradation: *every* translation falls back to the
+        # interpreter (isel fails 100% of the time) and the program still
+        # produces the right answer under instrumentation.
+        img = asm_image(CPU_SRC)
+        clean = chaos_run(img, "memcheck", False, inject=None)
+        broken = chaos_run(img, "memcheck", False, inject="isel:1.0,seed=2")
+        assert broken.exit_code == clean.exit_code == 0
+        assert broken.stdout == clean.stdout
+        rob = broken.stats()["robustness"]
+        assert rob["quarantined_blocks"] >= rob["injection"]["isel"]["fired"] > 0
+
+
+class TestInjectSpecValidation:
+    def test_bad_specs_rejected(self):
+        for bad in ("frobnicate@1", "mmap-enomem@0", "eintr:1.5",
+                    "segv@x", "seed=zz"):
+            with pytest.raises(BadInjectSpec):
+                FaultInjector(bad)
+
+    def test_option_validates_eagerly(self):
+        from repro.core.options import BadOption, Options as O
+
+        o = O()
+        with pytest.raises(BadOption):
+            o.set("--inject=unknown-event@1")
+        assert o.set("--inject=mmap-enomem@2,seed=4")
+        assert o.inject == "mmap-enomem@2,seed=4"
+
+    def test_stats_report_counts(self):
+        inj = FaultInjector("eintr@2,seed=0")
+        assert inj.eintr() is False
+        assert inj.eintr() is True
+        assert inj.eintr() is False
+        assert inj.stats() == {"eintr": {"seen": 3, "fired": 1}}
