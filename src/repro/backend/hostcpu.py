@@ -142,6 +142,11 @@ class HostCPU:
         self._code_cache: Dict[bytes, Callable] = {}
         self.code_cache_hits = 0
         self.code_cache_misses = 0
+        #: Content-addressed pygen-tier cache (see repro.backend.pygen):
+        #: host code bytes -> one shared specialized-function runner.
+        self._pygen_cache: Dict[bytes, Callable] = {}
+        self.pygen_cache_hits = 0
+        self.pygen_cache_misses = 0
 
     # -- compilation -------------------------------------------------------------
 
@@ -484,11 +489,30 @@ class HostCPU:
         self._code_cache[code] = fn
         return fn
 
+    def compile_pygen(self, code: bytes) -> Callable:
+        """Compile assembled bytes into a pygen-tier specialized function.
+
+        Content-addressed exactly like :meth:`compile_fn`; the runner has
+        the same ``runner(ts) -> (jump-kind, guest_insns)`` signature, so
+        the tiers are interchangeable mid-run (see repro.backend.pygen).
+        """
+        fn = self._pygen_cache.get(code)
+        if fn is not None:
+            self.pygen_cache_hits += 1
+            return fn
+        self.pygen_cache_misses += 1
+        from .pygen import build_pygen_runner
+
+        fn = build_pygen_runner(self, decode_insns(code))
+        self._pygen_cache[code] = fn
+        return fn
+
     def flush_code_cache(self) -> None:
         """Drop all memoized runners (content-addressed entries never go
         *stale* — identical bytes mean identical semantics — so this only
         exists to bound memory and for tests)."""
         self._code_cache.clear()
+        self._pygen_cache.clear()
 
     def _build_runner(self, insns: Sequence[HInsn]) -> Callable:
         """Generate a straight-line Python function for one translation.

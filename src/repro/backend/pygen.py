@@ -1,0 +1,548 @@
+"""The pygen codegen tier: one specialized CPython function per block.
+
+The paper's back-end wins (Section 3) come from emitting *real host
+code* into the code cache; our host is the CPython VM, so the closest
+faithful analogue is to emit Python *source* for each register-allocated
+block, ``compile()`` it once to CPython bytecode, and execute that.
+This is the top tier of the codegen pipeline (see
+:mod:`repro.core.codegen`), above the PR-1 ``compile_fn`` runners and
+the per-insn closure lists.
+
+What the emitted function does differently from the PR-1 runner
+(:meth:`repro.backend.hostcpu.HostCPU._build_runner`):
+
+* **Registers are locals** (``i0..i7``, ``f0..``, ``v0..``), not
+  ``_ir[n]`` list cells: every operand access is a LOAD_FAST/STORE_FAST.
+* **Spill slots are locals** (``s0..``): SPILL/RELOAD never touch the
+  ThreadState spill area (nothing else reads it — helpers and the
+  fault-replay engine only see architected offsets).
+* **Guest-state writeback is batched**: STG/SETPC pend into per-offset
+  temps (``g{off}_{size}``) and are flushed at block exits, before
+  dirty helper calls (which may read/write the state out-of-band), and
+  — for shadow offsets ≥ GUEST_STATE_SIZE only — before potential
+  fault points (loads/stores, div/mod), because precise-fault recovery
+  replays *architected* state from the block-entry snapshot but keeps
+  the shadow state the partial run committed.  Flushing early is always
+  legal: a pending value is exactly what the closure tier would already
+  have stored at that point.
+* **LDG reads are forwarded** from pending/loaded values of the same
+  offset, size and decode class, so e.g. repeated CC-thunk reads hit a
+  local.  F32 slots are excluded (the 4-byte round-trip narrows
+  doubles); F32 STG/LDG write/read through, and F32 SPILLs apply the
+  same rounding the closure tier's round-trip would.
+* **Helper CALLs are emitted inline** without the closure tier's
+  register-file save/restore: host "registers" live in function locals
+  a helper cannot observe, and the CALL_SAVE frame area has no readers.
+
+``host_insns`` accounting and the returned ``(jump-kind, guest_insns)``
+exit tuples are identical to the PR-1 runner, so the two tiers are
+interchangeable mid-run.
+"""
+
+from __future__ import annotations
+
+import struct
+import sys
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..guest.regs import GUEST_STATE_SIZE, OFFSET_PC
+from ..ir.ops import get_op
+from ..ir.types import Ty
+from ..kernel.memory import PROT_READ, PROT_WRITE
+from .hostisa import (
+    BIN,
+    CALL,
+    CSEL,
+    HInsn,
+    LDG,
+    LDM,
+    LI,
+    LIF,
+    MOVR,
+    RC,
+    RELOAD,
+    RET,
+    Reg,
+    SETPCI,
+    SETPCR,
+    SIDEEXIT,
+    SPILL,
+    STG,
+    STM,
+    Slot,
+    UN,
+)
+from .hostcpu import OP_INLINE
+
+#: Process-wide pygen source -> code object cache (cf. _RUNNER_SRC_CACHE).
+_PYGEN_SRC_CACHE: Dict[str, object] = {}
+
+_M32 = 0xFFFFFFFF
+_RC_PREFIX = {RC.INT: "i", RC.FLT: "f", RC.VEC: "v"}
+
+#: On a little-endian host, a ThreadState's ``u32`` memoryview reads and
+#: writes aligned 4-byte guest-state slots with one index operation.
+_LE = sys.byteorder == "little"
+
+#: Bound struct codecs for F64/F32 guest-state slots — byte-for-byte the
+#: same encoding as :func:`repro.ir.values.to_bytes` / ``from_bytes``,
+#: minus the per-access type dispatch.
+_F64_PACK_INTO = struct.Struct("<d").pack_into
+_F64_UNPACK_FROM = struct.Struct("<d").unpack_from
+_F32_PACK_INTO = struct.Struct("<f").pack_into
+_F32_UNPACK_FROM = struct.Struct("<f").unpack_from
+
+#: FP expression templates beyond the shared integer OP_INLINE table.
+#: Each must be semantically identical to its repro.ir.ops function:
+#: AddF64/SubF64/MulF64 are raw IEEE double ops, CmpF64/CmpF32 encode
+#: Valgrind's IRCmpF64Result (UN=0x45, LT=0x01, GT=0x00, EQ=0x40) with
+#: ``x != x`` as the NaN test, F32toF64 is the identity, and I32StoF64
+#: sign-extends then converts.  DivF64 stays a call (IEEE inf/nan edge
+#: cases live in _fp_div).
+_FP_INLINE: Dict[str, str] = {
+    "AddF64": "({a} + {b})",
+    "SubF64": "({a} - {b})",
+    "MulF64": "({a} * {b})",
+    "NegF64": "(-{a})",
+    "CmpF64": "(69 if ({a} != {a} or {b} != {b}) else"
+              " (1 if {a} < {b} else (0 if {a} > {b} else 64)))",
+    "CmpF32": "(69 if ({a} != {a} or {b} != {b}) else"
+              " (1 if {a} < {b} else (0 if {a} > {b} else 64)))",
+    "F32toF64": "{a}",
+    "I32StoF64": "float({a} - (({a} & 2147483648) << 1))",
+}
+
+_OP_INLINE_ALL: Dict[str, str] = {**OP_INLINE, **_FP_INLINE}
+
+
+def _f32_round(v: float) -> float:
+    """The closure tier's F32 store/reload round-trip, as a function."""
+    return struct.unpack("<f", struct.pack("<f", v))[0]
+
+
+def _reg(r: Reg) -> str:
+    return f"{_RC_PREFIX[r.rc]}{r.n}"
+
+
+def _slot(n: int) -> str:
+    return f"s{n}"
+
+
+def _insn_io(insn: HInsn) -> Tuple[List[str], List[str]]:
+    """(local names read, local names defined) by one instruction."""
+    if isinstance(insn, (LI, LIF)):
+        return [], [_reg(insn.dst)]
+    if isinstance(insn, MOVR):
+        return [_reg(insn.src)], [_reg(insn.dst)]
+    if isinstance(insn, BIN):
+        return [_reg(insn.src1), _reg(insn.src2)], [_reg(insn.dst)]
+    if isinstance(insn, UN):
+        return [_reg(insn.src)], [_reg(insn.dst)]
+    if isinstance(insn, LDG):
+        return [], [_reg(insn.dst)]
+    if isinstance(insn, STG):
+        return [_reg(insn.src)], []
+    if isinstance(insn, LDM):
+        return [_reg(insn.addr)], [_reg(insn.dst)]
+    if isinstance(insn, STM):
+        return [_reg(insn.addr), _reg(insn.src)], []
+    if isinstance(insn, CSEL):
+        return (
+            [_reg(insn.cond), _reg(insn.a), _reg(insn.b)],
+            [_reg(insn.dst)],
+        )
+    if isinstance(insn, CALL):
+        reads: List[str] = []
+        for a in insn.args:
+            if isinstance(a, Reg):
+                reads.append(_reg(a))
+            elif isinstance(a, Slot):
+                reads.append(_slot(a.n))
+        if insn.guard is not None:
+            reads.append(_reg(insn.guard))
+            if insn.dst is not None:
+                # A guarded call's destination must already be bound if
+                # the guard is false: count it as a read so the def-scan
+                # pre-initializes it.
+                reads.append(_reg(insn.dst))
+        defs = [_reg(insn.dst)] if insn.dst is not None else []
+        return reads, defs
+    if isinstance(insn, SIDEEXIT):
+        return [_reg(insn.cond)], []
+    if isinstance(insn, SETPCR):
+        return [_reg(insn.src)], []
+    if isinstance(insn, SPILL):
+        return [_reg(insn.src)], [_slot(insn.slot)]
+    if isinstance(insn, RELOAD):
+        return [_slot(insn.slot)], [_reg(insn.dst)]
+    # SETPCI, RET
+    return [], []
+
+
+def _is_fault_point(insn: HInsn) -> bool:
+    """Can executing *insn* raise a recoverable guest fault?"""
+    if isinstance(insn, (LDM, STM)):
+        return True
+    if isinstance(insn, (BIN, UN)):
+        op = insn.op
+        if op.endswith(("F64", "F32")):
+            # FP div follows IEEE semantics (inf/nan), never raises.
+            return False
+        return "Div" in op or "Mod" in op
+    return False
+
+
+def build_pygen_runner(cpu, insns: Sequence[HInsn]) -> Callable:
+    """Emit + compile one specialized function for a decoded block.
+
+    Returns ``runner(ts) -> (jump-kind, guest_insns)``, semantically
+    identical to ``cpu.run(cpu.compile(code), ts)``.
+    """
+    helpers = cpu.helpers
+    mem = cpu.mem
+    env: Dict[str, object] = {
+        "_cpu": cpu,
+        "_ifb": int.from_bytes,
+        "_pg": mem._pages.get,
+        "_ld": mem.load,
+        "_st": mem.store,
+    }
+    _cache: Dict[object, str] = {}
+
+    def bind(val: object, key: object = None) -> str:
+        if key is not None and key in _cache:
+            return _cache[key]
+        name = f"_k{len(env)}"
+        env[name] = val
+        if key is not None:
+            _cache[key] = name
+        return name
+
+    def lit(val: object) -> str:
+        # Ints always repr round-trip; floats may be inf/nan — bind.
+        return repr(val) if type(val) is int else bind(val)
+
+    # -- def-before-use pre-scan ------------------------------------------------
+    io = [_insn_io(insn) for insn in insns]
+    defined: set = set()
+    preinit: List[str] = []
+    last_def: Dict[str, int] = {}
+    for idx, (reads, defs) in enumerate(io):
+        for name in reads:
+            if name not in defined and name not in preinit:
+                preinit.append(name)
+        defined.update(defs)
+        for name in defs:
+            last_def[name] = idx
+
+    body: List[str] = ["_cpu.ts = ts", "_d = ts.data"]
+    flags = {"m": False}
+
+    def emit(line: str, depth: int = 0) -> None:
+        body.append("    " * depth + line)
+
+    def m_slot(off: int) -> str:
+        flags["m"] = True
+        return f"_m[{off >> 2}]"
+
+    for name in preinit:
+        if name[0] == "i":
+            env.setdefault("_ir", cpu.ir)
+            emit(f"{name} = _ir[{name[1:]}]")
+        elif name[0] == "f":
+            env.setdefault("_fr", cpu.fr)
+            emit(f"{name} = _fr[{name[1:]}]")
+        elif name[0] == "v":
+            env.setdefault("_vr", cpu.vr)
+            emit(f"{name} = _vr[{name[1:]}]")
+        else:  # spill slot read before any SPILL (regalloc never does this)
+            emit(f"{name} = 0")
+
+    # -- pending guest-state writes --------------------------------------------
+    # off -> (size, value, ty, dirty); value is a local/expression string,
+    # or a compile-time int constant (SETPCI).  dirty entries need a
+    # writeback; clean entries only forward LDG reads.
+    known: Dict[int, Tuple[int, object, Ty, bool]] = {}
+
+    def writeback(off: int, entry, depth: int = 0) -> None:
+        size, val, ty, _ = entry
+        if ty.is_int and size == 4 and _LE and not off % 4:
+            emit(f"{m_slot(off)} = {val}", depth)
+        elif isinstance(val, int):
+            emit(f"_d[{off}:{off + size}] = {val.to_bytes(size, 'little')!r}",
+                 depth)
+        elif ty.is_int:
+            emit(f"_d[{off}:{off + size}] = {val}.to_bytes({size}, 'little')",
+                 depth)
+        elif ty is Ty.F64:
+            emit(f"{bind(_F64_PACK_INTO, key='pf64')}(_d, {off}, {val})", depth)
+        else:
+            emit(f"ts.put({off}, {bind(ty, key=ty)}, {val})", depth)
+
+    def invalidate_overlap(off: int, size: int) -> None:
+        """Flush+drop every entry overlapping [off, off+size) except an
+        exact (off, size) match (the caller replaces or reuses that)."""
+        for o in list(known):
+            e = known[o]
+            if o == off and e[0] == size:
+                continue
+            if o < off + size and off < o + e[0]:
+                del known[o]
+                if e[3]:
+                    writeback(o, e)
+
+    def on_def(name: str) -> None:
+        """A local is about to be redefined: entries valued by it can no
+        longer forward (dirty ones cannot exist — STG only skips the
+        snapshot temp when the source has no later definition)."""
+        for o in list(known):
+            e = known[o]
+            if e[1] == name:
+                del known[o]
+                if e[3]:  # defensive: value is still live on this line
+                    writeback(o, e)
+
+    def flush_dirty(shadow_only: bool = False, depth: int = 0,
+                    keep_pending: bool = False, skip_pc: bool = False) -> None:
+        """Write back pending entries (sorted for determinism).
+
+        *keep_pending* emits the writebacks without marking entries clean
+        — used inside a conditional side exit, where the fall-through
+        path has not actually stored anything yet.
+        """
+        for o in sorted(known):
+            e = known[o]
+            if not e[3]:
+                continue
+            if shadow_only and o < GUEST_STATE_SIZE:
+                continue
+            if skip_pc and o == OFFSET_PC and e[0] == 4:
+                continue
+            writeback(o, e, depth)
+            if not keep_pending:
+                known[o] = (e[0], e[1], e[2], False)
+
+    def forwardable(entry, ty: Ty) -> bool:
+        size, _, ety, _ = entry
+        return size == ty.size and (ety is ty or (ety.is_int and ty.is_int))
+
+    files = {RC.INT: "i", RC.FLT: "f", RC.VEC: "v"}
+
+    PO, PO4 = OFFSET_PC, OFFSET_PC + 4
+    done = False
+    for i, insn in enumerate(insns):
+        reads, defs = io[i]
+        if _is_fault_point(insn):
+            # Recovery replays architected state from the entry snapshot,
+            # but shadow state keeps what the partial run committed: make
+            # the committed shadow state match the closure tier's.
+            flush_dirty(shadow_only=True)
+        for name in defs:
+            on_def(name)
+        if isinstance(insn, (LI, LIF)):
+            emit(f"{_reg(insn.dst)} = {lit(insn.imm)}")
+        elif isinstance(insn, MOVR):
+            emit(f"{_reg(insn.dst)} = {_reg(insn.src)}")
+        elif isinstance(insn, BIN):
+            tmpl = _OP_INLINE_ALL.get(insn.op)
+            if tmpl is not None:
+                expr = tmpl.format(a=_reg(insn.src1), b=_reg(insn.src2))
+            else:
+                op = bind(get_op(insn.op).fn, key=("op", insn.op))
+                expr = f"{op}({_reg(insn.src1)}, {_reg(insn.src2)})"
+            emit(f"{_reg(insn.dst)} = {expr}")
+        elif isinstance(insn, UN):
+            tmpl = _OP_INLINE_ALL.get(insn.op)
+            if tmpl is not None:
+                expr = tmpl.format(a=_reg(insn.src))
+            else:
+                op = bind(get_op(insn.op).fn, key=("op", insn.op))
+                expr = f"{op}({_reg(insn.src)})"
+            emit(f"{_reg(insn.dst)} = {expr}")
+        elif isinstance(insn, LDG):
+            off, ty = insn.off, insn.ty
+            dst = _reg(insn.dst)
+            entry = known.get(off)
+            if entry is not None and forwardable(entry, ty):
+                emit(f"{dst} = {entry[1]}")
+            else:
+                invalidate_overlap(off, ty.size)
+                entry = known.get(off)  # exact-size, incompatible decode
+                if entry is not None:
+                    if entry[3]:
+                        writeback(off, entry)
+                    del known[off]
+                if ty is Ty.F32:
+                    emit(f"{dst} = "
+                         f"{bind(_F32_UNPACK_FROM, key='uf32')}(_d, {off})[0]")
+                else:
+                    g = f"g{off}_{ty.size}"
+                    if ty.is_int and ty.size == 4 and _LE and not off % 4:
+                        emit(f"{dst} = {g} = {m_slot(off)}")
+                    elif ty.is_int:
+                        emit(f"{dst} = {g} = "
+                             f"_ifb(_d[{off}:{off + ty.size}], 'little')")
+                    elif ty is Ty.F64:
+                        emit(f"{dst} = {g} = "
+                             f"{bind(_F64_UNPACK_FROM, key='uf64')}(_d, {off})[0]")
+                    else:
+                        emit(f"{dst} = {g} = ts.get({off}, {bind(ty, key=ty)})")
+                    known[off] = (ty.size, g, ty, False)
+        elif isinstance(insn, STG):
+            off, ty = insn.off, insn.ty
+            src = _reg(insn.src)
+            if ty is Ty.F32:
+                invalidate_overlap(off, ty.size)
+                known.pop(off, None)
+                emit(f"{bind(_F32_PACK_INTO, key='pf32')}(_d, {off}, {src})")
+            else:
+                invalidate_overlap(off, ty.size)
+                if last_def.get(src, -1) > i:
+                    # The source register is redefined later: snapshot the
+                    # pending value so the flush sees today's value.
+                    g = f"g{off}_{ty.size}"
+                    emit(f"{g} = {src}")
+                    known[off] = (ty.size, g, ty, True)
+                else:
+                    known[off] = (ty.size, src, ty, True)
+        elif isinstance(insn, LDM):
+            ty, dst, addr = insn.ty, _reg(insn.dst), _reg(insn.addr)
+            tyn = bind(ty, key=ty)
+            if ty.is_int and ty.size <= 8:
+                size = ty.size
+                emit(f"_a = {addr} & 4294967295")
+                emit(f"_o = _a & 4095")
+                emit(f"_p = _pg(_a >> 12) if _o <= {4096 - size} else None")
+                emit(f"if _p is not None and _p[1] & {PROT_READ}:")
+                emit(f"{dst} = _ifb(_p[0][_o:_o + {size}], 'little')", 1)
+                emit("else:")
+                emit(f"{dst} = _ld(_a, {tyn})", 1)
+            elif ty is Ty.F64 or ty is Ty.F32:
+                unpack = bind(
+                    _F64_UNPACK_FROM if ty is Ty.F64 else _F32_UNPACK_FROM,
+                    key="uf64" if ty is Ty.F64 else "uf32",
+                )
+                size = ty.size
+                emit(f"_a = {addr} & 4294967295")
+                emit(f"_o = _a & 4095")
+                emit(f"_p = _pg(_a >> 12) if _o <= {4096 - size} else None")
+                emit(f"if _p is not None and _p[1] & {PROT_READ}:")
+                emit(f"{dst} = {unpack}(_p[0], _o)[0]", 1)
+                emit("else:")
+                emit(f"{dst} = _ld(_a, {tyn})", 1)
+            else:
+                emit(f"{dst} = _ld({addr} & 4294967295, {tyn})")
+        elif isinstance(insn, STM):
+            ty, src, addr = insn.ty, _reg(insn.src), _reg(insn.addr)
+            tyn = bind(ty, key=ty)
+            if ty.is_int and ty.size <= 8:
+                size = ty.size
+                emit(f"_a = {addr} & 4294967295")
+                emit(f"_o = _a & 4095")
+                emit(f"_p = _pg(_a >> 12) if _o <= {4096 - size} else None")
+                emit(f"if _p is not None and _p[1] & {PROT_WRITE}:")
+                emit(f"_p[0][_o:_o + {size}] = {src}.to_bytes({size}, 'little')",
+                     1)
+                emit("else:")
+                emit(f"_st(_a, {tyn}, {src})", 1)
+            elif ty is Ty.F64 or ty is Ty.F32:
+                pack = bind(
+                    _F64_PACK_INTO if ty is Ty.F64 else _F32_PACK_INTO,
+                    key="pf64" if ty is Ty.F64 else "pf32",
+                )
+                size = ty.size
+                emit(f"_a = {addr} & 4294967295")
+                emit(f"_o = _a & 4095")
+                emit(f"_p = _pg(_a >> 12) if _o <= {4096 - size} else None")
+                emit(f"if _p is not None and _p[1] & {PROT_WRITE}:")
+                emit(f"{pack}(_p[0], _o, {src})", 1)
+                emit("else:")
+                emit(f"_st(_a, {tyn}, {src})", 1)
+            else:
+                emit(f"_st({addr} & 4294967295, {tyn}, {src})")
+        elif isinstance(insn, CSEL):
+            emit(f"{_reg(insn.dst)} = {_reg(insn.a)} if {_reg(insn.cond)}"
+                 f" else {_reg(insn.b)}")
+        elif isinstance(insn, CALL):
+            helper = helpers.lookup(insn.helper)
+            fname = bind(helper.fn, key=("helper", insn.helper))
+            if insn.dirty:
+                # The helper may read or write guest state out-of-band:
+                # commit every pending store first, forget everything after.
+                flush_dirty()
+            args = []
+            for a in insn.args:
+                if isinstance(a, Reg):
+                    args.append(_reg(a))
+                elif isinstance(a, Slot):
+                    args.append(_slot(a.n))
+                else:  # ImmArg
+                    args.append(lit(a.value))
+            if insn.dirty:
+                env.setdefault("_env", cpu.env)
+                call = f"{fname}(_env{''.join(', ' + a for a in args)})"
+            else:
+                call = f"{fname}({', '.join(args)})"
+            line = f"{_reg(insn.dst)} = {call}" if insn.dst is not None else call
+            if insn.guard is not None:
+                emit(f"if {_reg(insn.guard)}:")
+                emit(line, 1)
+            else:
+                emit(line)
+            if insn.dirty:
+                known.clear()
+        elif isinstance(insn, SETPCI):
+            invalidate_overlap(PO, 4)
+            known[PO] = (4, insn.dst & _M32, Ty.I32, True)
+        elif isinstance(insn, SETPCR):
+            invalidate_overlap(PO, 4)
+            emit(f"g{PO}_4 = {_reg(insn.src)} & 4294967295")
+            known[PO] = (4, f"g{PO}_4", Ty.I32, True)
+        elif isinstance(insn, SIDEEXIT):
+            exit_tuple = bind((insn.jk, insn.icnt), key=(insn.jk, insn.icnt))
+            emit(f"if {_reg(insn.cond)}:")
+            flush_dirty(depth=1, keep_pending=True, skip_pc=True)
+            if _LE:
+                emit(f"{m_slot(PO)} = {insn.dst & _M32}", 1)
+            else:
+                pcb = (insn.dst & _M32).to_bytes(4, "little")
+                emit(f"_d[{PO}:{PO4}] = {pcb!r}", 1)
+            emit(f"_cpu.host_insns += {i + 1}", 1)
+            emit(f"return {exit_tuple}", 1)
+        elif isinstance(insn, RET):
+            exit_tuple = bind((insn.jk, insn.icnt), key=(insn.jk, insn.icnt))
+            flush_dirty()
+            emit(f"_cpu.host_insns += {i + 1}")
+            emit(f"return {exit_tuple}")
+            done = True
+            break
+        elif isinstance(insn, SPILL):
+            src = _reg(insn.src)
+            if insn.ty is Ty.F32:
+                # Match the closure tier's 4-byte round-trip exactly.
+                f32 = bind(_f32_round, key="f32rt")
+                emit(f"{_slot(insn.slot)} = {f32}({src})")
+            else:
+                emit(f"{_slot(insn.slot)} = {src}")
+        elif isinstance(insn, RELOAD):
+            emit(f"{_reg(insn.dst)} = {_slot(insn.slot)}")
+        else:  # pragma: no cover
+            raise TypeError(f"cannot compile {insn!r}")
+    if not done:
+        raise RuntimeError("translation fell off the end (missing RET)")
+    if flags["m"]:
+        body.insert(2, "_m = ts.u32")
+    params = ["ts"] + [f"{n}={n}" for n in env]
+    src = f"def _pygen({', '.join(params)}):\n" + "".join(
+        f"    {line}\n" for line in body
+    )
+    # Share code objects process-wide: blocks differing only in bound
+    # values reuse the same bytecode with different defaults.
+    code = _PYGEN_SRC_CACHE.get(src)
+    if code is None:
+        code = compile(src, "<pygen-block>", "exec")
+        _PYGEN_SRC_CACHE[src] = code
+    exec(code, env)
+    fn = env["_pygen"]
+    fn.pygen_source = src
+    return fn

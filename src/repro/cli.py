@@ -37,6 +37,12 @@ core options:
   --chaining=yes|no            translation chaining (default: no)
   --perf=yes|no                perf execution mode: compiled-code
                                memoization, full chaining, megacache
+  --codegen=closures|pygen|auto
+                               execution tier: per-insn closures (default),
+                               specialized Python per block (pygen), or
+                               closures promoted to pygen when hot (auto)
+  --jit-threshold=<n>          auto tier: executions before a block is
+                               promoted to pygen (default: 10)
   --stats=none|json            print run statistics to stderr (default: none)
   --precise-faults=yes|no      roll guest state to the exact faulting
                                instruction before delivering a signal

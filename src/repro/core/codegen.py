@@ -1,0 +1,234 @@
+"""Tiered host code generation (the ``--codegen`` pipeline).
+
+Three executable tiers share one runner signature
+(``fn(ts) -> (jump-kind, guest_insns)``) and one storage slot
+(``Translation.compiled_fn``), so transtab eviction, SMC flushes and
+chain severing work identically whichever tier a block is in:
+
+=========  ==================================================  ============
+tier       what executes                                        compiled by
+=========  ==================================================  ============
+closures   per-insn closure list via ``HostCPU.run``            ``compile``
+perf       PR-1 generated runner (``_ir[n]`` indexing)          ``compile_fn``
+pygen      specialized function: locals + batched writeback     ``compile_pygen``
+interp     IR interpreter (JIT-failure quarantine)              ``translate_interp``
+=========  ==================================================  ============
+
+``--codegen=closures`` (default) keeps the historical behaviour: the
+default loop runs closures, ``--perf`` runs the PR-1 runners compiled
+eagerly at insert time.  ``--codegen=pygen`` compiles every block to the
+pygen tier on its *first execution* (insert-time compilation is
+deferred, so blocks that never run never compile).  ``--codegen=auto``
+starts blocks in the closure tier and promotes them to pygen when their
+execution count crosses ``--jit-threshold`` — cheap first execution,
+optimized hot code, the classic tiered-translation trade.
+
+A pygen compile failure (real or ``--inject=pygen@N``) *demotes* the
+block to the closure tier and is counted; it never escapes as a host
+traceback.  Per-tier execution time is sampled only under
+``--stats=json`` (the wrapper would otherwise tax the hot path).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+#: Tier names, in promotion order (interp is a quarantine, not a target).
+TIERS = ("closures", "perf", "pygen", "interp")
+
+#: Valid --codegen modes.
+CODEGEN_MODES = ("closures", "pygen", "auto")
+
+
+def _tier_counter() -> Dict[str, float]:
+    return {t: 0 for t in TIERS}
+
+
+def _tier_seconds() -> Dict[str, float]:
+    return {t: 0.0 for t in TIERS}
+
+
+@dataclass
+class CodegenStats:
+    """Cumulative tier bookkeeping (reported under --stats=json)."""
+
+    #: Blocks that entered each tier (a promoted block counts in both).
+    tier_attaches: Dict[str, float] = field(default_factory=_tier_counter)
+    #: auto: blocks whose exec count crossed the threshold into pygen.
+    promotions: int = 0
+    #: pygen compile failures demoted to the closure tier.
+    demotions: int = 0
+    #: Lazy modes: insert-time compilations skipped ...
+    compiles_deferred: int = 0
+    #: ... of which this many were eventually compiled on first execution
+    #: (the difference is translations that never ran — compiles avoided).
+    first_exec_compiles: int = 0
+    #: Cumulative translation (compile) time per tier, seconds.
+    compile_seconds: Dict[str, float] = field(default_factory=_tier_seconds)
+    #: Cumulative execution time per tier, seconds (--stats=json only).
+    exec_seconds: Dict[str, float] = field(default_factory=_tier_seconds)
+    #: Block executions per tier (--stats=json only).
+    tier_execs: Dict[str, float] = field(default_factory=_tier_counter)
+
+
+class CodegenTiers:
+    """Chooses, compiles and promotes a translation's execution tier."""
+
+    def __init__(
+        self,
+        hostcpu,
+        options,
+        injector=None,
+        collect_exec_times: bool = False,
+        on_demote: Optional[Callable] = None,
+    ):
+        self.hostcpu = hostcpu
+        self.mode = options.codegen
+        self.threshold = max(1, options.jit_threshold)
+        self.injector = injector
+        self.collect = collect_exec_times
+        self.on_demote = on_demote
+        self.stats = CodegenStats()
+
+    # -- transtab insert hook (lazy modes) ---------------------------------------
+
+    def note_deferred(self, t) -> None:
+        """Installed as the transtab 'compiler' under pygen/auto: counts
+        the insert-time compilation that did NOT happen."""
+        self.stats.compiles_deferred += 1
+
+    # -- first-execution hook (both dispatch loops) ------------------------------
+
+    def attach(self, t):
+        """Give *t* a ``compiled_fn`` for its starting tier; returns it."""
+        self.stats.first_exec_compiles += 1
+        if self.mode == "pygen":
+            if not self._try_pygen(t):
+                self._attach_closures(t, counting=False)
+        elif self.mode == "auto":
+            self._attach_closures(t, counting=True)
+        else:  # closures: the perf loop's lazy fallback
+            self.attach_perf(t)
+        return t.compiled_fn
+
+    def attach_perf(self, t):
+        """Compile *t* through the PR-1 content-addressed runner cache
+        (used eagerly at insert time under ``--perf --codegen=closures``).
+        Raises on failure — the scheduler quarantines."""
+        t0 = time.perf_counter()
+        fn = self.hostcpu.compile_fn(t.code)
+        self.stats.compile_seconds["perf"] += time.perf_counter() - t0
+        t.tier = "perf"
+        self.stats.tier_attaches["perf"] += 1
+        t.compiled_fn = self._timed(fn, "perf") if self.collect else fn
+        return t.compiled_fn
+
+    def note_interp(self, t) -> None:
+        """Record a quarantined (IR-interpreter) translation."""
+        t.tier = "interp"
+        self.stats.tier_attaches["interp"] += 1
+
+    # -- tiers -------------------------------------------------------------------
+
+    def _try_pygen(self, t) -> bool:
+        """Compile *t* to the pygen tier; on any failure (including an
+        injected one) demote and return False."""
+        try:
+            if self.injector is not None:
+                self.injector.pygen_failure(t.guest_addr)
+            t0 = time.perf_counter()
+            fn = self.hostcpu.compile_pygen(t.code)
+            self.stats.compile_seconds["pygen"] += time.perf_counter() - t0
+        except Exception as exc:
+            t.pygen_failed = True
+            self.stats.demotions += 1
+            if self.on_demote is not None:
+                self.on_demote(t, exc)
+            return False
+        t.tier = "pygen"
+        self.stats.tier_attaches["pygen"] += 1
+        t.compiled_fn = self._timed(fn, "pygen") if self.collect else fn
+        return True
+
+    def _attach_closures(self, t, counting: bool) -> None:
+        t0 = time.perf_counter()
+        compiled = self.hostcpu.compile(t.code)
+        self.stats.compile_seconds["closures"] += time.perf_counter() - t0
+        t.compiled = compiled
+        run = self.hostcpu.run
+        if counting:
+            threshold = self.threshold
+            tiers = self
+
+            def fn(ts, _run=run, _c=compiled, _t=t):
+                out = _run(_c, ts)
+                n = _t.exec_count + 1
+                _t.exec_count = n
+                # == not >=: a block whose promotion failed is not
+                # retried on every subsequent execution.
+                if n == threshold and not _t.pygen_failed:
+                    tiers._promote(_t)
+                return out
+
+        else:
+
+            def fn(ts, _run=run, _c=compiled):
+                return _run(_c, ts)
+
+        t.tier = "closures"
+        self.stats.tier_attaches["closures"] += 1
+        t.compiled_fn = self._timed(fn, "closures") if self.collect else fn
+
+    def _promote(self, t) -> None:
+        """auto: a block crossed the threshold — move it to pygen.  The
+        swap takes effect on the block's next execution."""
+        if self._try_pygen(t):
+            self.stats.promotions += 1
+
+    def _timed(self, fn, tier: str):
+        pc = time.perf_counter
+        stats = self.stats
+
+        def run(ts):
+            t0 = pc()
+            out = fn(ts)
+            stats.exec_seconds[tier] += pc() - t0
+            stats.tier_execs[tier] += 1
+            return out
+
+        return run
+
+    # -- reporting ---------------------------------------------------------------
+
+    def stats_dict(self, transtab=None) -> dict:
+        s = self.stats
+        cpu = self.hostcpu
+        out = {
+            "mode": self.mode,
+            "jit_threshold": self.threshold,
+            "tier_attaches": {k: int(v) for k, v in s.tier_attaches.items()},
+            "promotions": s.promotions,
+            "demotions": s.demotions,
+            "compiles_deferred": s.compiles_deferred,
+            "first_exec_compiles": s.first_exec_compiles,
+            "compiles_avoided": max(
+                0, s.compiles_deferred - s.first_exec_compiles
+            ),
+            "compile_seconds": dict(s.compile_seconds),
+            "exec_seconds": dict(s.exec_seconds),
+            "tier_execs": {k: int(v) for k, v in s.tier_execs.items()},
+            "pygen_cache": {
+                "hits": cpu.pygen_cache_hits,
+                "misses": cpu.pygen_cache_misses,
+                "unique_blocks": len(cpu._pygen_cache),
+            },
+        }
+        if transtab is not None:
+            live: Dict[str, int] = {}
+            for t in transtab.all_translations():
+                tier = t.tier or "pending"
+                live[tier] = live.get(tier, 0) + 1
+            out["live_blocks"] = live
+        return out

@@ -37,7 +37,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Optional, Tuple
 
-from ..guest.regs import GUEST_STATE_SIZE
+from ..guest.regs import GUEST_STATE_SIZE, OFFSET_PC
 from ..ir.stmt import JumpKind
 from ..kernel.memory import GuestFault
 from .options import Options
@@ -49,6 +49,8 @@ _CALL = JumpKind.Call.value
 _RET = JumpKind.Ret.value
 #: Shadow call-stack depth cap (pathological recursion protection).
 _CALLSTACK_MAX = 16384
+#: Aligned-slot index of the guest PC in a ThreadState's u32 view.
+_PC_IDX = OFFSET_PC // 4
 
 
 @dataclass
@@ -89,6 +91,11 @@ class Dispatcher:
         self.hostcpu = hostcpu
         self.options = options
         self.smc_recheck = smc_recheck
+        #: Codegen tiering (set by the scheduler): called with a
+        #: translation whose compiled_fn is None on its first execution,
+        #: compiles it for its starting tier and returns the runner.
+        self.attach_runner: Optional[Callable] = None
+        self._tiered = options.codegen != "closures"
         size = options.dispatch_cache_size
         self._mask = size - 1
         self._cache: list = [None] * size
@@ -143,21 +150,33 @@ class Dispatcher:
         hostcpu = self.hostcpu
         chaining = self.options.chaining
         smc_recheck = self.smc_recheck
+        attach = self.attach_runner if self._tiered else None
         quantum = self.options.dispatch_quantum
         if max_blocks is not None:
             quantum = min(quantum, max_blocks)
         precise = self._precise and self.fault_recover is not None
         sig_poll = self.signals_pending
         next_poll = self._poll
+        # Per-block counters accumulate in locals and are flushed to the
+        # instance before every exit and signal poll (timer delivery reads
+        # ``guest_insns`` from inside the poll callback).
         n = 0
+        gi = 0
+        flushed = 0
+        u32 = ts.u32
+        arch = ts.arch
         prev: Optional[Translation] = None
         t: Optional[Translation] = None
         while n < quantum:
             if sig_poll is not None and n >= next_poll:
                 next_poll = n + self._poll
+                stats.blocks_executed += n - flushed
+                flushed = n
+                self.guest_insns += gi
+                gi = 0
                 if sig_poll():
                     return ("signals", n)
-            pc = ts.pc
+            pc = u32[_PC_IDX] if u32 is not None else ts.pc
             # Chained fast path: the previous translation already knows
             # its successor.
             if t is None:
@@ -178,28 +197,41 @@ class Dispatcher:
                         t = self.transtab.lookup(pc)
                         if t is None:
                             stats.misses += 1
+                            stats.blocks_executed += n - flushed
+                            self.guest_insns += gi
                             return ("translate", pc)
                         cache[idx] = t
                         stats.slow_hits += 1
             if t.smc_checked and smc_recheck is not None and not smc_recheck(t):
                 stats.smc_flushes += 1
+                stats.blocks_executed += n - flushed
+                self.guest_insns += gi
                 return ("smc", t)
-            if t.compiled is None:
-                t.compiled = hostcpu.compile(t.code)
+            fn = t.compiled_fn
+            if fn is None:
+                if attach is not None:
+                    fn = attach(t)
+                elif t.compiled is None:
+                    t.compiled = hostcpu.compile(t.code)
             if precise:
-                snap = bytes(ts.data[:GUEST_STATE_SIZE])
+                snap = bytes(arch)
                 try:
-                    jk, icnt = hostcpu.run(t.compiled, ts)
+                    if fn is not None:
+                        jk, icnt = fn(ts)
+                    else:
+                        jk, icnt = hostcpu.run(t.compiled, ts)
                 except (GuestFault, ZeroDivisionError) as exc:
-                    stats.blocks_executed += 1
+                    stats.blocks_executed += n + 1 - flushed
+                    self.guest_insns += gi
                     si, ricnt = self.fault_recover(ts, snap, t, exc)
                     self.guest_insns += ricnt
                     return ("fault", si)
+            elif fn is not None:
+                jk, icnt = fn(ts)
             else:
                 jk, icnt = hostcpu.run(t.compiled, ts)
             n += 1
-            stats.blocks_executed += 1
-            self.guest_insns += icnt
+            gi += icnt
             if jk != _BORING:
                 if jk == _CALL:
                     # Maintain the shadow call stack used for stack traces:
@@ -210,7 +242,7 @@ class Dispatcher:
                         del cs[: _CALLSTACK_MAX // 2]
                 elif jk == _RET:
                     cs = ts.callstack
-                    target = ts.pc
+                    target = u32[_PC_IDX] if u32 is not None else ts.pc
                     if cs:
                         if cs[-1][0] == target:
                             cs.pop()
@@ -221,6 +253,8 @@ class Dispatcher:
                                     del cs[-depth:]
                                     break
                 else:
+                    stats.blocks_executed += n - flushed
+                    self.guest_insns += gi
                     return ("jumpkind", jk)
             if chaining and prev is not None and prev.chain_next is None:
                 # Lazily record the observed constant successor.
@@ -230,11 +264,15 @@ class Dispatcher:
             nxt = None
             if chaining:
                 cand = t.chain_next
-                if cand is not None and not cand.dead and cand.guest_addr == ts.pc:
-                    nxt = cand
-                    stats.chained += 1
+                if cand is not None and not cand.dead:
+                    npc = u32[_PC_IDX] if u32 is not None else ts.pc
+                    if cand.guest_addr == npc:
+                        nxt = cand
+                        stats.chained += 1
             t = nxt
         stats.quantum_expiries += 1
+        stats.blocks_executed += n - flushed
+        self.guest_insns += gi
         return ("quantum", None)
     # NOTE on chaining fidelity (default mode): we only chain
     # Boring->Boring constant successors, and only one link deep per step,
@@ -266,7 +304,14 @@ class Dispatcher:
         precise = self._precise and self.fault_recover is not None
         sig_poll = self.signals_pending
         next_poll = self._poll
+        # Per-block counters accumulate in locals and are flushed to the
+        # instance before every exit and signal poll (timer delivery reads
+        # ``guest_insns`` from inside the poll callback).
         n = 0
+        gi = 0
+        flushed = 0
+        u32 = ts.u32
+        arch = ts.arch
         # Pending chain source: (translation, slot) to link once the next
         # translation is resolved through a cache/table look-up.
         pend: Optional[Tuple[Translation, str]] = None
@@ -277,9 +322,13 @@ class Dispatcher:
             # observed within ``signal_poll_interval`` blocks.
             if sig_poll is not None and n >= next_poll:
                 next_poll = n + self._poll
+                stats.blocks_executed += n - flushed
+                flushed = n
+                self.guest_insns += gi
+                gi = 0
                 if sig_poll():
                     return ("signals", n)
-            pc = ts.pc
+            pc = u32[_PC_IDX] if u32 is not None else ts.pc
             if t is None:
                 idx = (pc >> 1) & mask
                 cand = cache[idx]
@@ -304,6 +353,8 @@ class Dispatcher:
                             t = transtab.lookup(pc)
                             if t is None:
                                 stats.misses += 1
+                                stats.blocks_executed += n - flushed
+                                self.guest_insns += gi
                                 return ("translate", pc)
                             stats.slow_hits += 1
                             # Fill: demote the MRU way; a displaced live
@@ -324,26 +375,33 @@ class Dispatcher:
                 pend = None
             if t.smc_checked and smc_recheck is not None and not smc_recheck(t):
                 stats.smc_flushes += 1
+                stats.blocks_executed += n - flushed
+                self.guest_insns += gi
                 return ("smc", t)
             fn = t.compiled_fn
             if fn is None:
-                # Lazy fallback (e.g. translations inserted before perf
-                # wiring); normally insert-time compilation covers this.
-                fn = t.compiled_fn = hostcpu.compile_fn(t.code)
+                # First execution under a lazy codegen mode — or, with
+                # eager insert-time compilation, a translation inserted
+                # before perf wiring.
+                attach = self.attach_runner
+                if attach is not None:
+                    fn = attach(t)
+                else:
+                    fn = t.compiled_fn = hostcpu.compile_fn(t.code)
             if precise:
-                snap = bytes(ts.data[:GUEST_STATE_SIZE])
+                snap = bytes(arch)
                 try:
                     jk, icnt = fn(ts)
                 except (GuestFault, ZeroDivisionError) as exc:
-                    stats.blocks_executed += 1
+                    stats.blocks_executed += n + 1 - flushed
+                    self.guest_insns += gi
                     si, ricnt = self.fault_recover(ts, snap, t, exc)
                     self.guest_insns += ricnt
                     return ("fault", si)
             else:
                 jk, icnt = fn(ts)
             n += 1
-            stats.blocks_executed += 1
-            self.guest_insns += icnt
+            gi += icnt
             slot = "chain_next"
             if jk != _BORING:
                 if jk == _CALL:
@@ -354,7 +412,7 @@ class Dispatcher:
                     slot = "chain_call"
                 elif jk == _RET:
                     cs = ts.callstack
-                    target = ts.pc
+                    target = u32[_PC_IDX] if u32 is not None else ts.pc
                     if cs:
                         if cs[-1][0] == target:
                             cs.pop()
@@ -365,11 +423,15 @@ class Dispatcher:
                                     break
                     slot = "chain_ret"
                 else:
+                    stats.blocks_executed += n - flushed
+                    self.guest_insns += gi
                     return ("jumpkind", jk)
             # Follow the chain: multi-link — each hop bypasses both
             # look-up tiers entirely.
             nxt = getattr(t, slot)
-            if nxt is not None and nxt.guest_addr == ts.pc and not nxt.dead:
+            if nxt is not None and not nxt.dead and nxt.guest_addr == (
+                u32[_PC_IDX] if u32 is not None else ts.pc
+            ):
                 stats.chained += 1
                 pend = None
                 t = nxt
@@ -377,4 +439,6 @@ class Dispatcher:
                 pend = (t, slot) if nxt is None else None
                 t = None
         stats.quantum_expiries += 1
+        stats.blocks_executed += n - flushed
+        self.guest_insns += gi
         return ("quantum", None)

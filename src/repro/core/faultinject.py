@@ -15,7 +15,9 @@ defined points:
 * ``segv``       — post a synthetic GuestFault-style SIGSEGV before a
   dispatch step (exercises the precise-fault recovery path);
 * ``isel``       — raise an internal error inside the JIT pipeline
-  (exercises the quarantine / IR-interp degradation path).
+  (exercises the quarantine / IR-interp degradation path);
+* ``pygen``      — fail a pygen-tier block compilation (exercises the
+  codegen demotion path: pygen -> closures).
 
 A plan is parsed from the ``--inject=`` option value::
 
@@ -44,12 +46,21 @@ class InjectedJitError(Exception):
         self.addr = addr
 
 
+class InjectedPygenError(Exception):
+    """A deliberately injected pygen-tier compilation failure."""
+
+    def __init__(self, addr: int):
+        super().__init__(f"injected pygen compile failure for block at {addr:#x}")
+        self.addr = addr
+
+
 class BadInjectSpec(Exception):
     pass
 
 
 #: Event names a plan may schedule.
-EVENTS = ("mmap-enomem", "eintr", "smc-flush", "evict", "segv", "isel")
+EVENTS = ("mmap-enomem", "eintr", "smc-flush", "evict", "segv", "isel",
+          "pygen")
 
 
 @dataclass
@@ -157,6 +168,13 @@ class FaultInjector:
         :class:`InjectedJitError` when the plan schedules a JIT failure."""
         if self._fires("isel"):
             raise InjectedJitError(addr)
+
+    def pygen_failure(self, addr: int) -> None:
+        """Consulted before each pygen-tier block compilation; raises
+        :class:`InjectedPygenError` when the plan schedules one (the
+        codegen layer catches it and demotes the block to closures)."""
+        if self._fires("pygen"):
+            raise InjectedPygenError(addr)
 
     # -- reporting -------------------------------------------------------------
 

@@ -7,12 +7,20 @@ tool, and anything after the program name belongs to the client.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
 
 class BadOption(Exception):
     pass
+
+
+def _default_codegen() -> str:
+    """Default --codegen tier, overridable via REPRO_CODEGEN so CI can
+    force the whole test suite through a non-default tier."""
+    v = os.environ.get("REPRO_CODEGEN", "closures")
+    return v if v in ("closures", "pygen", "auto") else "closures"
 
 
 @dataclass
@@ -47,6 +55,14 @@ class Options:
     #: two-tier dispatcher cache.  Off by default: the default mode is
     #: byte-identical to the paper's behaviour.
     perf: bool = False
+    #: Codegen tier selection (see repro.core.codegen): "closures" keeps
+    #: the historical engines; "pygen" compiles every block to one
+    #: specialized CPython function on first execution; "auto" starts in
+    #: closures and promotes blocks crossing --jit-threshold to pygen.
+    codegen: str = field(default_factory=_default_codegen)
+    #: auto tier promotion threshold: closure-tier executions before a
+    #: block is recompiled into the pygen tier.
+    jit_threshold: int = 10
     #: Megacache entries (perf mode): a 2-way set-associative second cache
     #: tier behind the direct-mapped one (power of two).
     megacache_size: int = 32768
@@ -121,6 +137,17 @@ class Options:
             if value not in ("none", "json"):
                 raise BadOption(f"--stats must be none|json, got {value!r}")
             self.stats_format = value
+        elif name == "codegen":
+            if value not in ("closures", "pygen", "auto"):
+                raise BadOption(
+                    f"--codegen must be closures|pygen|auto, got {value!r}"
+                )
+            self.codegen = value
+        elif name == "jit-threshold":
+            n = int(value, 0)
+            if n < 1:
+                raise BadOption("--jit-threshold must be >= 1")
+            self.jit_threshold = n
         elif name == "dispatch-quantum":
             self.dispatch_quantum = int(value, 0)
         elif name == "thread-timeslice":

@@ -35,6 +35,7 @@ from ..kernel.kernel import Kernel, ProcessExit, SigInfo
 from ..kernel.memory import GuestFault, GuestMemory, PROT_RWX
 from ..kernel.sigframe import FRAME_PUSH, pop_signal_frame, push_signal_frame
 from . import clientreq as CR
+from .codegen import CodegenTiers
 from .dispatch import Dispatcher
 from .events import EventRegistry
 from .faultinject import FaultInjector
@@ -255,6 +256,7 @@ class Scheduler:
         #: Robustness counters (reported under --stats=json).
         self.quarantined_blocks = 0
         self.faults_recovered = 0
+        self.pygen_demotions = 0
         #: Deterministic fault-injection plan, if --inject was given.
         self.injector: Optional[FaultInjector] = (
             FaultInjector(options.inject) if options.inject else None
@@ -268,7 +270,22 @@ class Scheduler:
         self.hostcpu = HostCPU(self.memory, helpers, self.env)
         self.transtab = TranslationTable(options.transtab_entries,
                                          policy=options.transtab_policy)
-        if options.perf:
+        #: Codegen tiering (closures / perf / pygen / interp); per-tier
+        #: execution timing only under --stats=json (the sampling wrapper
+        #: would otherwise tax the hot path).
+        self.codegen = CodegenTiers(
+            self.hostcpu,
+            options,
+            injector=self.injector,
+            collect_exec_times=(options.stats_format == "json"),
+            on_demote=self._on_pygen_demoted,
+        )
+        if options.codegen != "closures":
+            # Lazy compilation: blocks compile on first execution (pygen)
+            # or on threshold crossing (auto); translations that never run
+            # never compile.  The insert hook just counts the deferral.
+            self.transtab.set_compiler(self.codegen.note_deferred)
+        elif options.perf:
             # Perf mode: compile each translation eagerly at insert time
             # through the content-addressed compiled-code cache, instead of
             # lazily inside the dispatch loop.  A runner-compilation
@@ -276,7 +293,7 @@ class Scheduler:
             # instead of killing the run.
             def _eager_compile(t):
                 try:
-                    t.compiled_fn = self.hostcpu.compile_fn(t.code)
+                    self.codegen.attach_perf(t)
                 except Exception as exc:
                     if not self._quarantine_existing(t, exc):
                         raise
@@ -297,6 +314,7 @@ class Scheduler:
         )
         self.dispatcher.fault_recover = self._recover_fault
         self.dispatcher.signals_pending = self._signals_pending
+        self.dispatcher.attach_runner = self.codegen.attach
         self.wrappers = SyscallWrappers(
             events, kernel, self, on_code_unmapped=self._on_code_unmapped,
             injector=self.injector,
@@ -420,6 +438,15 @@ class Scheduler:
 
     # -- JIT quarantine (graceful degradation) -----------------------------------------
 
+    def _on_pygen_demoted(self, t, exc) -> None:
+        """A pygen-tier compile failed (real or injected): the block runs
+        in the closure tier instead.  Counted, logged, never fatal."""
+        self.pygen_demotions += 1
+        self.core.log(
+            f"pygen compile failure for block at {t.guest_addr:#x} "
+            f"({exc!r}); demoting to closure tier"
+        )
+
     def _attach_interp_runner(self, t) -> None:
         """Give *t* interpreter-backed runners for both dispatch loops."""
         runner = make_interp_runner(
@@ -434,6 +461,7 @@ class Scheduler:
             return jk
 
         t.compiled = [_closure]
+        self.codegen.note_interp(t)
 
     def _quarantine_translation(self, addr: int, exc) -> Optional[object]:
         """Build an interpreter-executed translation for *addr* after an
@@ -460,6 +488,7 @@ class Scheduler:
         t.irsb = q.irsb
         t.compiled_fn = q.compiled_fn
         t.compiled = q.compiled
+        t.tier = "interp"
         return True
 
     # -- engine interface for the kernel ----------------------------------------------

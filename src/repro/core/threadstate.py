@@ -11,11 +11,17 @@ like guest registers (requirement R1).
 from __future__ import annotations
 
 import enum
+import sys
 from typing import List, Optional
 
 from ..guest import regs as R
 from ..ir.types import Ty
 from ..ir.values import from_bytes, to_bytes
+
+#: The guest ABI is little-endian; on a little-endian host a ``cast("I")``
+#: memoryview over the state block reads/writes 4-byte slots directly.
+_LE = sys.byteorder == "little"
+_PC_IDX = R.OFFSET_PC // 4
 
 
 class ThreadStatus(enum.Enum):
@@ -32,6 +38,12 @@ class ThreadState:
     def __init__(self, tid: int = 1):
         self.tid = tid
         self.data = bytearray(R.TOTAL_STATE_SIZE)
+        #: Cached views over ``data`` (never reassigned, never resized):
+        #: ``arch`` spans the architected half (one-copy fault snapshots),
+        #: ``u32`` indexes aligned 4-byte slots without slicing (None on a
+        #: big-endian host, where callers fall back to the generic path).
+        self.arch = memoryview(self.data)[: R.GUEST_STATE_SIZE]
+        self.u32 = memoryview(self.data).cast("I") if _LE else None
         self.status = ThreadStatus.RUNNABLE
         #: Exit status once the thread is a zombie.
         self.exit_status = 0
@@ -63,10 +75,17 @@ class ThreadState:
 
     @property
     def pc(self) -> int:
+        u = self.u32
+        if u is not None:
+            return u[_PC_IDX]
         return int.from_bytes(self.data[R.OFFSET_PC : R.OFFSET_PC + 4], "little")
 
     @pc.setter
     def pc(self, value: int) -> None:
+        u = self.u32
+        if u is not None:
+            u[_PC_IDX] = value & 0xFFFFFFFF
+            return
         self.data[R.OFFSET_PC : R.OFFSET_PC + 4] = (value & 0xFFFFFFFF).to_bytes(
             4, "little"
         )

@@ -98,6 +98,15 @@ class Translation:
     #: True if the JIT back-end failed for this block and it executes
     #: through the IR interpreter instead (graceful degradation).
     quarantined: bool = False
+    #: Codegen tier this block currently executes in ("closures", "perf",
+    #: "pygen", "interp"); None until first attached (see core.codegen).
+    tier: Optional[str] = None
+    #: Executions completed in the closure tier (drives --codegen=auto
+    #: promotion at --jit-threshold).
+    exec_count: int = 0
+    #: True if a pygen compile failed for this block (real or injected):
+    #: it stays demoted in the closure tier, never retried.
+    pygen_failed: bool = False
     #: The instrumented flat IR, kept only for quarantined translations
     #: (the interpreter runner executes it directly).
     irsb: Optional[IRSB] = None

@@ -163,9 +163,11 @@ class Valgrind:
             },
             "smc": {"checks": sched.smc.checks, "misses": sched.smc.misses},
             "translations_made": sched.translator.translations_made,
+            "codegen": sched.codegen.stats_dict(sched.transtab),
             "robustness": {
                 "quarantined_blocks": sched.quarantined_blocks,
                 "faults_recovered": sched.faults_recovered,
+                "pygen_demotions": sched.pygen_demotions,
                 "stopped_reason": sched.stopped_reason,
                 "injection": sched.injector.stats() if sched.injector else None,
             },

@@ -108,15 +108,25 @@ SPECS = [
 ]
 SEEDS = range(9)
 
+#: Execution engines: the historical pair plus the PR-3 codegen tiers.
+#: auto uses a low threshold so chaos runs actually cross the promotion
+#: boundary while injections are firing around them.
+MODES = {
+    "plain": {},
+    "perf": {"perf": True},
+    "pygen": {"perf": True, "codegen": "pygen"},
+    "auto": {"perf": True, "codegen": "auto", "jit_threshold": 3},
+}
+
 CONFIGS = list(itertools.product(
     [("alloc-io", ALLOC_IO_SRC), ("cpu", CPU_SRC)],
     ["none", "memcheck"],
-    [False, True],
+    list(MODES),
 ))
 
 
-def chaos_run(img, tool, perf, inject):
-    opts = Options(log_target="capture", perf=perf, inject=inject)
+def chaos_run(img, tool, mode, inject):
+    opts = Options(log_target="capture", inject=inject, **MODES[mode])
     return run_tool(tool, img, options=opts, max_blocks=MAX_BLOCKS)
 
 
@@ -139,55 +149,69 @@ def assert_well_formed(res, ctx):
 
 
 @pytest.mark.parametrize(
-    "prog,tool,perf", CONFIGS,
-    ids=[f"{p[0]}-{t}-{'perf' if f else 'plain'}" for p, t, f in CONFIGS],
+    "prog,tool,mode", CONFIGS,
+    ids=[f"{p[0]}-{t}-{m}" for p, t, m in CONFIGS],
 )
 class TestChaosMatrix:
-    """2 programs x 2 tools x 2 modes x 27 seeded plans = 216 runs."""
+    """2 programs x 2 tools x 4 engines x 27 seeded plans = 432 runs."""
 
-    def test_injected_runs_always_end_cleanly(self, prog, tool, perf):
+    def test_injected_runs_always_end_cleanly(self, prog, tool, mode):
         _, src = prog
         img = asm_image(src)
         for spec_tpl in SPECS:
             for seed in SEEDS:
                 inject = spec_tpl.format(seed=seed)
-                res = chaos_run(img, tool, perf, inject)
-                assert_well_formed(res, (prog[0], tool, perf, inject))
+                res = chaos_run(img, tool, mode, inject)
+                assert_well_formed(res, (prog[0], tool, mode, inject))
 
 
 class TestDeterminism:
-    @pytest.mark.parametrize("perf", [False, True])
-    def test_identical_plans_replay_identically(self, perf):
+    @pytest.mark.parametrize("mode", list(MODES))
+    def test_identical_plans_replay_identically(self, mode):
         img = asm_image(ALLOC_IO_SRC)
         for spec_tpl in SPECS:
             inject = spec_tpl.format(seed=3)
-            a = chaos_run(img, "none", perf, inject)
-            b = chaos_run(img, "none", perf, inject)
+            a = chaos_run(img, "none", mode, inject)
+            b = chaos_run(img, "none", mode, inject)
             assert outcome_fingerprint(a) == outcome_fingerprint(b), inject
 
-    @pytest.mark.parametrize("perf", [False, True])
-    def test_neverfiring_plan_is_bit_identical_to_no_plan(self, perf):
+    @pytest.mark.parametrize("mode", list(MODES))
+    def test_neverfiring_plan_is_bit_identical_to_no_plan(self, mode):
         # An injector whose rules never fire must not perturb the run at
         # all: fault-free replays stay bit-identical.
         for src in (ALLOC_IO_SRC, CPU_SRC):
             img = asm_image(src)
-            base = chaos_run(img, "none", perf, inject=None)
-            armed = chaos_run(img, "none", perf,
+            base = chaos_run(img, "none", mode, inject=None)
+            armed = chaos_run(img, "none", mode,
                               inject="mmap-enomem@999999,segv@999999,seed=5")
             assert outcome_fingerprint(base) == outcome_fingerprint(armed)
             assert base.exit_code == 0
 
+    def test_engines_agree_under_injection(self):
+        # The same syscall-level plan must produce the same architected
+        # outcome whichever engine executes the guest (dispatch-level
+        # events like evict change block counts, so use a syscall plan).
+        for src in (ALLOC_IO_SRC, CPU_SRC):
+            img = asm_image(src)
+            inject = "mmap-enomem@2,eintr:0.2,seed=7"
+            runs = {m: chaos_run(img, "none", m, inject) for m in MODES}
+            ref = runs["plain"]
+            for mode, res in runs.items():
+                assert res.exit_code == ref.exit_code, mode
+                assert res.stdout == ref.stdout, mode
+                assert res.outcome.guest_insns == ref.outcome.guest_insns, mode
+
 
 class TestJitQuarantine:
-    @pytest.mark.parametrize("perf", [False, True])
+    @pytest.mark.parametrize("mode", list(MODES))
     @pytest.mark.parametrize("tool", ["none", "memcheck"])
-    def test_isel_failure_degrades_to_interpreter(self, tool, perf):
+    def test_isel_failure_degrades_to_interpreter(self, tool, mode):
         # Acceptance: an injected isel failure quarantines the block into
         # the IR interpreter; the run finishes with the *correct* output.
         img = asm_image(CPU_SRC)
-        clean = chaos_run(img, tool, perf, inject=None)
+        clean = chaos_run(img, tool, mode, inject=None)
         assert clean.exit_code == 0
-        broken = chaos_run(img, tool, perf, inject="isel@1,seed=1")
+        broken = chaos_run(img, tool, mode, inject="isel@1,seed=1")
         assert broken.exit_code == 0
         assert broken.stdout == clean.stdout
         assert "quarantining to IR interpreter" in broken.log
@@ -200,12 +224,46 @@ class TestJitQuarantine:
         # interpreter (isel fails 100% of the time) and the program still
         # produces the right answer under instrumentation.
         img = asm_image(CPU_SRC)
-        clean = chaos_run(img, "memcheck", False, inject=None)
-        broken = chaos_run(img, "memcheck", False, inject="isel:1.0,seed=2")
+        clean = chaos_run(img, "memcheck", "plain", inject=None)
+        broken = chaos_run(img, "memcheck", "plain", inject="isel:1.0,seed=2")
         assert broken.exit_code == clean.exit_code == 0
         assert broken.stdout == clean.stdout
         rob = broken.stats()["robustness"]
         assert rob["quarantined_blocks"] >= rob["injection"]["isel"]["fired"] > 0
+
+
+class TestPygenDemotion:
+    @pytest.mark.parametrize("mode", ["pygen", "auto"])
+    @pytest.mark.parametrize("tool", ["none", "memcheck"])
+    def test_pygen_failure_demotes_to_closures(self, tool, mode):
+        # Acceptance: an injected pygen compile failure demotes the block
+        # to the closure tier — correct output, counted in both the
+        # robustness and codegen stats, never a host traceback.
+        img = asm_image(CPU_SRC)
+        clean = chaos_run(img, tool, mode, inject=None)
+        assert clean.exit_code == 0
+        broken = chaos_run(img, tool, mode, inject="pygen@1,seed=1")
+        assert broken.exit_code == 0
+        assert broken.stdout == clean.stdout
+        assert "pygen compile failure" in broken.log
+        stats = broken.stats()
+        assert stats["robustness"]["pygen_demotions"] >= 1
+        assert stats["robustness"]["injection"]["pygen"]["fired"] == 1
+        assert stats["codegen"]["demotions"] >= 1
+        assert stats["codegen"]["tier_attaches"]["closures"] >= 1
+
+    def test_every_pygen_compile_failing_still_correct(self):
+        # Degenerate degradation: *every* pygen compile fails and the
+        # whole program runs in the closure tier, still correct.
+        img = asm_image(CPU_SRC)
+        clean = chaos_run(img, "memcheck", "pygen", inject=None)
+        broken = chaos_run(img, "memcheck", "pygen", inject="pygen:1.0,seed=2")
+        assert broken.exit_code == clean.exit_code == 0
+        assert broken.stdout == clean.stdout
+        stats = broken.stats()
+        assert stats["codegen"]["tier_attaches"]["pygen"] == 0
+        assert (stats["codegen"]["demotions"]
+                == stats["robustness"]["injection"]["pygen"]["fired"] > 0)
 
 
 class TestInjectSpecValidation:

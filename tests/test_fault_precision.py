@@ -1,7 +1,8 @@
 """Precise synchronous faults: the (signal, fault PC, fault address)
 triple must be identical across the reference CPU, the default dispatch
-loop and the --perf chained loop, and guest handlers must be able to
-inspect the siginfo words and recover by patching the saved PC."""
+loop, the --perf chained loop and the pygen/auto codegen tiers, and
+guest handlers must be able to inspect the siginfo words and recover by
+patching the saved PC."""
 
 from __future__ import annotations
 
@@ -26,6 +27,21 @@ def run_three(src):
     """Run under the native engine, the default loop and the perf loop."""
     img = asm_image(src)
     return native(img), vg(img), vg(img, perf=True)
+
+
+#: Codegen-tier engines (the PR-3 pipeline): every fault quadruple must
+#: match the reference CPU under these too.  auto uses a threshold of 2
+#: so handler-adjacent blocks really cross the promotion boundary.
+CODEGEN_ENGINES = {
+    "pygen": {"perf": True, "codegen": "pygen"},
+    "pygen-noperf": {"codegen": "pygen"},
+    "auto": {"perf": True, "codegen": "auto", "jit_threshold": 2},
+}
+
+
+def run_codegen_engines(src):
+    img = asm_image(src)
+    return {name: vg(img, **kw) for name, kw in CODEGEN_ENGINES.items()}
 
 
 class TestFaultDifferential:
@@ -75,6 +91,19 @@ main:   movi r2, {BAD:#x}
         ref = _quad(nat.fault_info)
         assert _quad(dflt.outcome.fault_info) == ref
         assert _quad(perf.outcome.fault_info) == ref
+
+    @pytest.mark.parametrize("name", sorted(CASES))
+    def test_quad_identical_across_codegen_tiers(self, name):
+        nat, dflt, _ = run_three(self.CASES[name])
+        ref = _quad(nat.fault_info)
+        for engine, res in run_codegen_engines(self.CASES[name]).items():
+            assert res.exit_code == nat.exit_code, engine
+            assert res.outcome.fatal_signal == nat.fatal_signal, engine
+            assert _quad(res.outcome.fault_info) == ref, engine
+            # Bit-identical architected effect: same completed guest
+            # instruction count and output as the closure-tier run.
+            assert res.outcome.guest_insns == dflt.outcome.guest_insns, engine
+            assert res.stdout == dflt.stdout, engine
 
     def test_bad_load_fault_details(self):
         nat, dflt, perf = run_three(self.CASES["bad-load"])
@@ -145,6 +174,12 @@ class TestHandlerRecovery:
         assert perf.stdout == want
         assert nat.exit_code == dflt.exit_code == perf.exit_code == 0
 
+    def test_handler_recovery_under_codegen_tiers(self):
+        want = f"{BAD - (1 << 32)}\n1\n7\n"
+        for engine, res in run_codegen_engines(RECOVER_SRC).items():
+            assert res.stdout == want, engine
+            assert res.exit_code == 0, engine
+
     def test_midblock_registers_committed_at_fault(self):
         # The movi writes precede the fault inside one block; the handler
         # must see them committed in the saved frame even though opt2 may
@@ -170,6 +205,8 @@ handler:
 """
         nat, dflt, perf = run_three(src)
         assert nat.stdout == dflt.stdout == perf.stdout == "42\n"
+        for engine, res in run_codegen_engines(src).items():
+            assert res.stdout == "42\n", engine
 
     def test_nested_fault_in_handler(self):
         # A SIGFPE handler faults with SIGSEGV; the nested handler patches
@@ -212,6 +249,9 @@ msg1:   .asciz "unwound"
         assert "unwound" in nat.stdout
         assert nat.stdout == dflt.stdout == perf.stdout
         assert nat.exit_code == dflt.exit_code == perf.exit_code == 0
+        for engine, res in run_codegen_engines(src).items():
+            assert res.stdout == nat.stdout, engine
+            assert res.exit_code == 0, engine
 
     def test_handler_modifies_saved_registers(self, run_both):
         # Writes into the frame become the restored register values.

@@ -96,6 +96,52 @@ def test_random_program_perf_survives_tiny_caches(source):
     _assert_matches_ref(res, ref_ts, ref_data, data_seg, "tiny-caches")
 
 
+@settings(max_examples=60, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(programs(), st.sampled_from(["none", "memcheck"]))
+def test_random_program_differential_codegen_tiers(source, tool):
+    """The pygen and auto tiers must be bit-identical to the closure
+    engine: same architected state, data segment, output, error reports
+    and guest instruction count."""
+    img = assemble(source, filename="rand")
+    ref_ts, ref_data, data_seg = ref_run(img)
+
+    plain = run_tool(tool, img, options=Options(log_target="capture",
+                                                codegen="closures"))
+    for label, opts in (
+        ("pygen", perf_options(codegen="pygen")),
+        ("auto", perf_options(codegen="auto", jit_threshold=2)),
+    ):
+        res = run_tool(tool, img, options=opts)
+        _assert_matches_ref(res, ref_ts, ref_data, data_seg,
+                            f"{label}/{tool}")
+        assert res.exit_code == plain.exit_code, label
+        assert res.stdout == plain.stdout, label
+        assert res.outcome.guest_insns == plain.outcome.guest_insns, label
+        assert [(e.kind, e.addr) for e in res.errors] == [
+            (e.kind, e.addr) for e in plain.errors
+        ], label
+
+
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(programs())
+def test_random_program_pygen_survives_tiny_caches(source):
+    """Eviction rounds must discard pygen-tier blocks as safely as
+    closure-tier ones (same transtab path, same chain severing)."""
+    img = assemble(source, filename="rand")
+    ref_ts, ref_data, data_seg = ref_run(img)
+    res = run_tool(
+        "none",
+        img,
+        options=perf_options(
+            codegen="pygen",
+            transtab_entries=48, dispatch_cache_size=16, megacache_size=8
+        ),
+    )
+    _assert_matches_ref(res, ref_ts, ref_data, data_seg, "pygen-tiny-caches")
+
+
 def test_differential_example_budget():
     """The harness above covers >= 200 random programs per full run."""
     budget = 110 + 50  # examples per @given above
@@ -136,11 +182,13 @@ fn3:    mov  r0, r6
 """
 
 
-def test_fifo_eviction_with_live_chains_matches_native():
+@pytest.mark.parametrize("codegen", ["closures", "pygen", "auto"])
+def test_fifo_eviction_with_live_chains_matches_native(codegen):
     nat = native(CALL_HEAVY_SRC)
     res = vg(
         CALL_HEAVY_SRC,
-        options=perf_options(transtab_entries=12, dispatch_cache_size=16,
+        options=perf_options(codegen=codegen, jit_threshold=3,
+                             transtab_entries=12, dispatch_cache_size=16,
                              megacache_size=8),
     )
     assert res.stdout == nat.stdout
@@ -168,9 +216,11 @@ def test_call_ret_chains_are_used():
     assert res.core.scheduler.dispatcher.stats.chained > 0
 
 
-def test_smc_discard_mid_run_under_perf():
+@pytest.mark.parametrize("codegen", ["closures", "pygen", "auto"])
+def test_smc_discard_mid_run_under_perf(codegen):
     """Rewriting already-translated code must discard the old translation,
-    sever its chains, and never execute the stale compiled runner."""
+    sever its chains, and never execute the stale compiled runner —
+    whichever codegen tier the stale block was in."""
     src = """
         .text
 main:   movi r0, 7          ; mmap(0, 4096, rwx)
@@ -200,7 +250,7 @@ main:   movi r0, 7          ; mmap(0, 4096, rwx)
         movi r0, 0
         ret
 """
-    res = vg(src, options=perf_options(smc_check="all"))
+    res = vg(src, options=perf_options(smc_check="all", codegen=codegen))
     assert res.stdout.split() == ["5", "9"]
     sched = res.core.scheduler
     assert sched.transtab.stats.discarded >= 1
@@ -350,7 +400,9 @@ class TestTableChainIntegration:
 
 
 def test_content_addressed_runner_sharing():
-    res = vg(CALL_HEAVY_SRC, options=perf_options())
+    # This tests the PR-1 eager insert-time path specifically, so pin
+    # the closure tier (lazy tiers defer compilation to first execution).
+    res = vg(CALL_HEAVY_SRC, options=perf_options(codegen="closures"))
     cpu = res.core.scheduler.hostcpu
     # Every translation compiled exactly once per unique byte string...
     assert cpu.code_cache_misses == len(cpu._code_cache)
