@@ -51,6 +51,13 @@ core options:
                                execution (default: 100 blocks)
   --inject=<spec>              seeded fault injection, e.g.
                                mmap-enomem@3,eintr:0.05,seed=7
+  --record=<file>              record every nondeterministic decision into
+                               a replayable log
+  --replay=<file>              re-execute a recorded run, verifying every
+                               decision (divergence exits with code 97)
+  --checkpoint-every=<insns>   while recording, snapshot full guest state
+                               every N guest instructions
+  --restore=<file>             resume from the last checkpoint in a log
   --log-file=<path>            send tool output to a file (default: stderr)
   --suppressions=<file>        load error suppressions
   --stack-size=<bytes>         client stack size
@@ -119,7 +126,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     except ValueError as exc:
         print(f"repro: {exc}", file=sys.stderr)
         return 2
-    result = vg.run(image, client_argv, resolve_image=load_image)
+    from .core.replay import ReplayDivergence, ReplayError
+
+    try:
+        result = vg.run(image, client_argv, resolve_image=load_image)
+    except ReplayDivergence as exc:
+        print(f"repro: {exc}", file=sys.stderr)
+        return 97
+    except (ReplayError, BadOption) as exc:
+        print(f"repro: {exc}", file=sys.stderr)
+        return 2
     sys.stdout.write(result.stdout)
     sys.stderr.write(result.stderr)
     if options.stats_format == "json":

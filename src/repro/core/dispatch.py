@@ -118,6 +118,11 @@ class Dispatcher:
         #: than that many blocks (set by the scheduler).
         self.signals_pending: Optional[Callable[[], bool]] = None
         self._poll = max(1, options.signal_poll_interval)
+        #: Record/replay checkpointing: when set, the loop returns
+        #: ("insns", n) at the first block boundary where the cumulative
+        #: guest instruction count reaches this value (set per dispatch
+        #: call by the scheduler; None disables the check entirely).
+        self.stop_at_insns: Optional[int] = None
         self.stats = DispatchStats()
         #: Guest instructions executed — exact: each block execution
         #: reports its completed IMark count, side exits included.
@@ -141,6 +146,9 @@ class Dispatcher:
                                 *si* is the SigInfo describing it
           ("signals", n)      — a pending signal was observed mid-quantum
                                 after *n* blocks; deliver it
+          ("insns", n)        — the guest-instruction stop point
+                                (``stop_at_insns``) was reached after *n*
+                                blocks (record/replay checkpointing)
         """
         if self._perf:
             return self._run_perf(ts, max_blocks)
@@ -157,6 +165,7 @@ class Dispatcher:
         precise = self._precise and self.fault_recover is not None
         sig_poll = self.signals_pending
         next_poll = self._poll
+        stop = self.stop_at_insns
         # Per-block counters accumulate in locals and are flushed to the
         # instance before every exit and signal poll (timer delivery reads
         # ``guest_insns`` from inside the poll callback).
@@ -168,6 +177,10 @@ class Dispatcher:
         prev: Optional[Translation] = None
         t: Optional[Translation] = None
         while n < quantum:
+            if stop is not None and self.guest_insns + gi >= stop:
+                stats.blocks_executed += n - flushed
+                self.guest_insns += gi
+                return ("insns", n)
             if sig_poll is not None and n >= next_poll:
                 next_poll = n + self._poll
                 stats.blocks_executed += n - flushed
@@ -304,6 +317,7 @@ class Dispatcher:
         precise = self._precise and self.fault_recover is not None
         sig_poll = self.signals_pending
         next_poll = self._poll
+        stop = self.stop_at_insns
         # Per-block counters accumulate in locals and are flushed to the
         # instance before every exit and signal poll (timer delivery reads
         # ``guest_insns`` from inside the poll callback).
@@ -317,6 +331,10 @@ class Dispatcher:
         pend: Optional[Tuple[Translation, str]] = None
         t: Optional[Translation] = None
         while n < quantum:
+            if stop is not None and self.guest_insns + gi >= stop:
+                stats.blocks_executed += n - flushed
+                self.guest_insns += gi
+                return ("insns", n)
             # A chained run can execute an entire quantum without touching
             # the scheduler; poll so an async signal (timer, kill) is
             # observed within ``signal_poll_interval`` blocks.

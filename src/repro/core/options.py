@@ -77,6 +77,15 @@ class Options:
     #: Fault-injection plan (``--inject=mmap-enomem@3,eintr:0.05,seed=7``);
     #: None disables injection entirely.
     inject: Optional[str] = None
+    #: Record every nondeterministic decision into this log file.
+    record: Optional[str] = None
+    #: Replay a run from this log file, verifying each decision.
+    replay: Optional[str] = None
+    #: While recording, snapshot full architected state every N guest
+    #: instructions (0 disables checkpointing).
+    checkpoint_every: int = 0
+    #: Resume execution from the last checkpoint in this log file.
+    restore: Optional[str] = None
     #: Run the IR sanity checker between translation phases.
     sanity_level: int = 1
     #: Enable intra-block self-loop unrolling in opt1.
@@ -175,6 +184,15 @@ class Options:
             except BadInjectSpec as exc:
                 raise BadOption(str(exc))
             self.inject = value
+        elif name in ("record", "replay", "restore"):
+            if not value:
+                raise BadOption(f"--{name} needs a file path")
+            setattr(self, name, value)
+        elif name == "checkpoint-every":
+            n = int(value, 0)
+            if n < 1:
+                raise BadOption("--checkpoint-every must be >= 1")
+            self.checkpoint_every = n
         elif name in self._FLAG_NAMES:
             if value not in ("yes", "no", ""):
                 raise BadOption(f"--{name} must be yes|no")

@@ -40,7 +40,16 @@ from .dispatch import Dispatcher
 from .events import EventRegistry
 from .faultinject import FaultInjector
 from .function_wrap import FunctionRedirector
-from .options import Options
+from .options import BadOption, Options
+from .replay import (
+    EventLog,
+    Recorder,
+    Replayer,
+    ReplayFormatError,
+    apply_snapshot,
+    EV_CHECKPOINT,
+    unpack_obj,
+)
 from .smc import SmcPolicy
 from .syscalls import SyscallWrappers
 from .threadstate import ThreadState, ThreadStatus
@@ -258,9 +267,28 @@ class Scheduler:
         self.faults_recovered = 0
         self.pygen_demotions = 0
         #: Deterministic fault-injection plan, if --inject was given.
-        self.injector: Optional[FaultInjector] = (
-            FaultInjector(options.inject) if options.inject else None
-        )
+        #: Under --replay the live injector is disabled: recorded
+        #: injection events are imposed from the log instead.
+        if options.record and options.replay:
+            raise BadOption("--record and --replay are mutually exclusive")
+        if options.replay:
+            self.rr = Replayer.load(options, options.replay)
+            self.injector: Optional[FaultInjector] = None
+        elif options.record:
+            self.rr = Recorder(options)
+            self.injector = FaultInjector(options.inject) if options.inject \
+                else None
+        else:
+            self.rr = None
+            self.injector = FaultInjector(options.inject) if options.inject \
+                else None
+        #: Global scheduler-step counter: incremented once per inner-loop
+        #: iteration whenever record/replay is active, keying EV_INJECT
+        #: events unambiguously (several steps can share (tid, insns)).
+        self._step = 0
+        #: Mid-slice resume after --restore: the interrupted thread's
+        #: remaining timeslice, consumed by its first synthetic pick.
+        self._resume_slice_left: Optional[int] = None
         #: Scratch RefCPU for precise-fault replay (created lazily; one
         #: instance is reused so memory write hooks are registered once).
         self._replay_cpu: Optional[RefCPU] = None
@@ -317,7 +345,7 @@ class Scheduler:
         self.dispatcher.attach_runner = self.codegen.attach
         self.wrappers = SyscallWrappers(
             events, kernel, self, on_code_unmapped=self._on_code_unmapped,
-            injector=self.injector,
+            injector=self.injector, rr=self.rr,
         )
         if SP_TRACK_HELPER not in helpers:
             helpers.register_dirty(SP_TRACK_HELPER, _track_sp_change)
@@ -332,6 +360,11 @@ class Scheduler:
         self._run_queue.append(1)
         self._next_tid = 2
         tool.at_thread_create(1)
+
+        if self.rr is not None:
+            # Binding verifies the contract (replay) or stamps the meta
+            # (record), and wires the transtab/translator hooks.
+            self.rr.bind(self, tool.name)
 
     # -- helpers -----------------------------------------------------------------
 
@@ -565,6 +598,10 @@ class Scheduler:
         ts = self.threads.get(tid)
         if ts is None:
             return
+        if self.rr is not None:
+            # The single delivery point: every signal that reaches a live
+            # thread is recorded (or verified) keyed by (tid, guest_insns).
+            self.rr.signal_delivered(tid, sig, siginfo)
         if sig == K.SIGKILL:
             # SIGKILL cannot be caught: fatal even if a (stale, corrupt)
             # handler table entry exists.
@@ -657,7 +694,13 @@ class Scheduler:
     # -- the main loop ------------------------------------------------------------------------
 
     def run(self, max_blocks: Optional[int] = None) -> RunOutcome:
-        blocked: Dict[int, int] = {}  # tid -> join target
+        # tid -> join target; rebuilt from thread statuses so a --restore
+        # resumed mid-run re-learns who was blocked at the checkpoint.
+        blocked: Dict[int, int] = {
+            tid: ts.joining
+            for tid, ts in self.threads.items()
+            if ts.status is ThreadStatus.WAIT_JOIN and ts.joining is not None
+        }
         total_budget = max_blocks
         while self._exit is None:
             # Wake joiners whose target has died.
@@ -681,13 +724,27 @@ class Scheduler:
                     break
                 self._exit = ProcessExit(0)
                 break
-            tid = self._run_queue.pop(0)
-            if tid not in self.threads:
-                continue
+            rr = self.rr
+            if self._resume_slice_left is not None:
+                # Synthetic first pick after --restore: the interrupted
+                # thread resumes with its remaining timeslice; neither
+                # side records/consumes a schedule event for it.
+                tid = self._run_queue.pop(0)
+                slice_left = self._resume_slice_left
+                self._resume_slice_left = None
+            elif rr is not None and rr.replaying:
+                tid = rr.next_thread(self._run_queue, self.threads)
+                slice_left = self.options.thread_timeslice
+            else:
+                tid = self._run_queue.pop(0)
+                if tid not in self.threads:
+                    continue
+                if rr is not None:
+                    rr.thread_scheduled(tid)
+                slice_left = self.options.thread_timeslice
             self.current_tid = tid
             ts = self.threads[tid]
             self.big_lock.acquire(tid)
-            slice_left = self.options.thread_timeslice
             reschedule = True  # requeue the thread when its slice ends
             while slice_left > 0 and self._exit is None:
                 self._check_signals(tid)
@@ -699,7 +756,26 @@ class Scheduler:
                         self.stopped_reason = "block-budget"
                         self._exit = ProcessExit(EXIT_BLOCK_BUDGET)
                         break
-                if self.injector is not None:
+                if rr is not None:
+                    # One step per inner iteration, counted identically
+                    # under record and replay: the unambiguous key for
+                    # dispatch-level injection events.
+                    self._step += 1
+                    if rr.replaying:
+                        name = rr.pending_inject(self._step)
+                        if name is not None:
+                            self._inject_dispatch_event(tid, ts, name)
+                            continue
+                    elif self.injector is not None:
+                        event = self.injector.dispatch_event()
+                        if event is not None:
+                            rr.inject_fired(event, self._step, tid)
+                            self._inject_dispatch_event(tid, ts, event)
+                            continue
+                    self.dispatcher.stop_at_insns = rr.next_stop(
+                        self.dispatcher.guest_insns
+                    )
+                elif self.injector is not None:
                     event = self.injector.dispatch_event()
                     if event is not None:
                         self._inject_dispatch_event(tid, ts, event)
@@ -719,6 +795,13 @@ class Scheduler:
                     # A pending async signal was observed mid-quantum.
                     slice_left -= max(1, payload)
                     continue
+                if reason == "insns":
+                    # Checkpoint boundary: snapshot (record) or verify the
+                    # state hash against the log (replay), then continue.
+                    slice_left -= max(1, payload)
+                    if rr is not None:
+                        rr.at_insns_stop(tid, slice_left)
+                    continue
                 if reason == "fault":
                     # Precise synchronous fault: the dispatcher already
                     # committed the faulting instruction boundary.
@@ -730,6 +813,8 @@ class Scheduler:
                     continue
                 if reason == "smc":
                     # Stale translation: discard and retranslate.
+                    if rr is not None:
+                        rr.smc_flush(tid, payload.guest_addr)
                     self.transtab.discard(payload.guest_addr)
                     self.dispatcher.flush_cache()
                     continue
@@ -799,7 +884,7 @@ class Scheduler:
                 self._run_queue.append(tid)
 
         exit_code = self._exit.status if self._exit else 0
-        return RunOutcome(
+        outcome = RunOutcome(
             exit_code=exit_code,
             fatal_signal=self.fatal_signal,
             blocks_executed=self.dispatcher.stats.blocks_executed,
@@ -808,6 +893,11 @@ class Scheduler:
             stopped_reason=self.stopped_reason,
             fault_info=self.fault_info,
         )
+        if self.rr is not None:
+            # Record the final outcome — or, on replay, verify it against
+            # the recording and assert the log was consumed completely.
+            self.rr.finish(outcome)
+        return outcome
 
     def _inject_dispatch_event(self, tid: int, ts, event: str) -> None:
         """Apply one scheduled --inject dispatch event."""
@@ -862,6 +952,91 @@ class Scheduler:
         t.smc_checked = self.smc.should_check(t, ts.stack_base, ts.stack_limit)
         self.transtab.insert(t)
         return True
+
+    # -- checkpoint restore ---------------------------------------------------------------
+
+    def _restore_translations(self, entries) -> None:
+        """Rebuild the translation table from snapshot entries in their
+        original serial order, so post-restore lookup/translate points
+        match the original run's warm caches."""
+        saved_hook = self.translator.fail_hook
+        self.translator.fail_hook = None
+        if self.rr is not None:
+            self.rr.suspend()
+        try:
+            for addr, smc_checked, quarantined, smc_hash in entries:
+                target = self.redirector.resolve(addr)
+                try:
+                    if quarantined:
+                        t = self.translator.translate_interp(target)
+                        self._attach_interp_runner(t)
+                        t.tier = "interp"
+                    else:
+                        t = self.translator.translate(target)
+                except Exception:
+                    # The code bytes may be gone or undecodable now: the
+                    # block simply retranslates on demand, as after any
+                    # discard.
+                    continue
+                t.guest_addr = addr
+                t.smc_checked = bool(smc_checked)
+                # Preserve the recorded content hash: a translation stale
+                # at checkpoint time must fail its SMC recheck after
+                # restore exactly as the original would have.
+                t.smc_hash = smc_hash
+                self.transtab.insert(t, evict_ok=False)
+        finally:
+            self.translator.fail_hook = saved_hook
+            if self.rr is not None:
+                self.rr.resume()
+        self.dispatcher.flush_cache()
+
+    def restore_from(self, path: str) -> None:
+        """Resume this run from the last checkpoint in *path*'s log."""
+        if self.rr is not None and self.rr.replaying:
+            if path != self.options.replay:
+                raise BadOption(
+                    "--restore under --replay must name the --replay log"
+                )
+            log = self.rr.log
+        else:
+            log = EventLog.load(path)
+        found = None
+        for i, ev in enumerate(log.events):
+            if ev.kind == EV_CHECKPOINT:
+                found = (i, ev.args[0])
+        if found is None:
+            raise ReplayFormatError(
+                f"log {path!r} contains no checkpoints to restore from "
+                "(record with --checkpoint-every=N)"
+            )
+        index, ckpt_idx = found
+        snap = unpack_obj(log.checkpoints[ckpt_idx])
+        if self.rr is not None:
+            self.rr.suspend()
+        try:
+            apply_snapshot(self, snap)
+        finally:
+            if self.rr is not None:
+                self.rr.resume()
+        # Tools attached before the restore saw none of this memory:
+        # announce every mapped range so shadow state exists.  (Tool
+        # *error* output after a restore may differ from the original
+        # run; architected replay stays exact.)
+        for start, size, prot in self.memory.mapped_ranges():
+            self.events.fire(
+                "new_mem_mmap", start, size,
+                bool(prot & 4), bool(prot & 2), bool(prot & 1),
+            )
+        if self.rr is not None:
+            if self.rr.replaying:
+                # Everything before the checkpoint was consumed by the
+                # restore itself; replay resumes right after it.
+                self.rr.seek_to(index + 1)
+            else:
+                # Record-from-restore: open the new log with the starting
+                # snapshot so its own replay can resume the same way.
+                self.rr.bootstrap(snap)
 
 
 def _track_sp_change(env: ExecEnv, old_sp: int, new_sp: int) -> int:

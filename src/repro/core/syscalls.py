@@ -28,6 +28,7 @@ from ..kernel.kernel import Kernel, SYSCALL_NAMES
 from ..kernel.memory import PAGE_SIZE, PROT_EXEC
 from .allocator import CORE_REGION_BASE, CORE_REGION_END
 from .events import EventRegistry
+from .replay import RES_BLOCKED, RES_INJECTED, RES_NORMAL, RES_NO_RESULT
 
 M32 = 0xFFFFFFFF
 ENOMEM = 12
@@ -58,12 +59,15 @@ class SyscallWrappers:
         engine,
         on_code_unmapped: Optional[Callable[[int, int], None]] = None,
         injector=None,
+        rr=None,
     ):
         self.events = events
         self.kernel = kernel
         self.engine = engine
         self.on_code_unmapped = on_code_unmapped or (lambda a, s: None)
         self.injector = injector
+        #: Record/replay engine (a Recorder or Replayer), or None.
+        self.rr = rr
         self._specs = self._build_specs()
         #: How many syscalls were wrapped (stats for tests/benches).
         self.count = 0
@@ -92,12 +96,23 @@ class SyscallWrappers:
                     "pre_reg_read", tid, gpr_offset(1 + i), 4, f"{name}(arg{i + 1})"
                 )
 
-        if not from_host and self.injector is not None:
+        rr = self.rr
+        if rr is not None and rr.replaying and not from_host:
+            # Replay: if the log's next event is an injected failure for
+            # exactly this call, impose it instead of running the kernel.
+            imposed = rr.syscall_injected(tid, num)
+            if imposed is not None:
+                if spec and spec.pre is not None:
+                    spec.pre(self, tid, a1, a2, a3)
+                ev.fire("post_reg_write", tid, gpr_offset(0), 4, name)
+                return imposed
+        elif not from_host and self.injector is not None:
             injected = self._injected_failure(num)
             if injected is not None:
                 if spec and spec.pre is not None:
                     spec.pre(self, tid, a1, a2, a3)
                 ev.fire("post_reg_write", tid, gpr_offset(0), 4, name)
+                self._rr_finish(tid, num, from_host, RES_INJECTED, injected)
                 return injected
 
         if spec and spec.pre is not None:
@@ -106,18 +121,37 @@ class SyscallWrappers:
                 # Pre-check failed: fail without consulting the kernel.
                 if not from_host:
                     ev.fire("post_reg_write", tid, gpr_offset(0), 4, name)
+                self._rr_finish(tid, num, from_host, RES_NORMAL, short)
                 return short
 
+        # SYS_EXIT raises ProcessExit out of this call: deliberately no
+        # event on either side, keeping record and replay symmetric.
         result = self.kernel.syscall(self.engine, tid, num, a1, a2, a3)
 
-        if result is K.BLOCKED or result is K.NO_RESULT:
+        if result is K.BLOCKED:
+            self._rr_finish(tid, num, from_host, RES_BLOCKED, 0)
+            return result
+        if result is K.NO_RESULT:
+            self._rr_finish(tid, num, from_host, RES_NO_RESULT, 0)
             return result
         if spec and spec.post is not None:
             spec.post(self, tid, a1, a2, a3, result)
         # The return value is written to r0.
         if not from_host:
             ev.fire("post_reg_write", tid, gpr_offset(0), 4, name)
+        self._rr_finish(tid, num, from_host, RES_NORMAL, result)
         return result
+
+    def _rr_finish(self, tid: int, num: int, from_host: bool, rflag: int,
+                   result: int) -> None:
+        """Record (or verify, on replay) one completed syscall."""
+        rr = self.rr
+        if rr is None:
+            return
+        if rr.replaying:
+            rr.syscall_check(tid, num, from_host, rflag, result)
+        else:
+            rr.syscall_done(tid, num, from_host, rflag, result)
 
     def _injected_failure(self, num: int) -> Optional[int]:
         """Consult the fault injector for a synthetic errno for this call."""

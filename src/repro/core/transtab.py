@@ -120,6 +120,9 @@ class TranslationTable:
         #: Perf mode: eager compiler run at insert time (set by the
         #: scheduler; compiles the block before its first execution).
         self._compiler: Optional[Callable[[Translation], None]] = None
+        #: Record/replay: called with the number of entries killed at the
+        #: end of every eviction round (capacity-pressure or forced).
+        self.on_evict: Optional[Callable[[int], None]] = None
 
     def set_compiler(self, compiler: Optional[Callable[[Translation], None]]):
         """Install an eager insert-time compiler (perf mode)."""
@@ -161,8 +164,8 @@ class TranslationTable:
         self.stats.misses += 1
         return None
 
-    def insert(self, t: Translation) -> None:
-        if self._used / self.capacity >= FULL_FRACTION:
+    def insert(self, t: Translation, evict_ok: bool = True) -> None:
+        if evict_ok and self._used / self.capacity >= FULL_FRACTION:
             self._evict_chunk()
         t.serial = self._next_serial
         self._next_serial += 1
@@ -202,12 +205,15 @@ class TranslationTable:
             live = sorted(
                 (t.serial, i) for i, t in enumerate(self._slots) if t is not None
             )
+        count = len(live[:n_goal])
         for _, i in live[:n_goal]:
             self._kill(self._slots[i])
             self._slots[i] = None
             self._used -= 1
             self.stats.evicted += 1
         self._rehash()
+        if self.on_evict is not None:
+            self.on_evict(count)
 
     def _rehash(self) -> None:
         """Rebuild probe sequences after deletions (linear probing needs it)."""

@@ -171,6 +171,7 @@ class Valgrind:
                 "stopped_reason": sched.stopped_reason,
                 "injection": sched.injector.stats() if sched.injector else None,
             },
+            "replay": sched.rr.stats_dict() if sched.rr is not None else None,
         }
         if outcome is not None:
             out["exit_code"] = outcome.exit_code
@@ -230,8 +231,12 @@ class Valgrind:
             redirector=self.redirector,
             error_mgr=self.error_mgr,
         )
+        if self.options.restore:
+            self.scheduler.restore_from(self.options.restore)
         self.tool.post_clo_init()
         outcome = self.scheduler.run(max_blocks=max_blocks)
+        if self.options.record and self.scheduler.rr is not None:
+            self.scheduler.rr.write(self.options.record)
         self.tool.fini(outcome.exit_code)
         if self._log_file is not None:
             self._log_file.close()

@@ -2,9 +2,27 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from helpers import asm_image, native, vg
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--quick",
+        action="store_true",
+        default=False,
+        help="shrink the randomized suites (CI replay-matrix budget)",
+    )
+
+
+def pytest_configure(config):
+    # Exported as an env var so test modules can read it at import time
+    # (hypothesis @settings decorators are evaluated during collection).
+    if config.getoption("--quick"):
+        os.environ["REPRO_TEST_QUICK"] = "1"
 
 
 @pytest.fixture
