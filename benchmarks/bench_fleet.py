@@ -1,0 +1,116 @@
+"""Fleet supervisor throughput and self-healing overhead.
+
+Not a paper figure: this measures the PR's service layer — the
+crash-isolated worker pool in :mod:`repro.core.supervisor` — on three
+axes:
+
+* ``sequential``  — N jobs run back-to-back in-process via ``run_job``
+  (the no-pool baseline);
+* ``fleet``       — the same N jobs across a 4-worker pool, no faults;
+* ``fleet+chaos`` — the same fleet under a seeded worker-fault plan
+  (kill/hang mid-run) with retry + backoff, measuring what the
+  self-healing machinery costs when things actually go wrong.
+
+The table reports wall time, jobs/sec, and the chaos run's terminal
+state mix.  Gate: every clean job succeeds and every chaos job ends in
+a classified terminal state (the supervisor's core contract).  The
+throughput rows are informative — at smoke scales the pool's fork
+overhead dominates these tiny jobs.
+"""
+
+import tempfile
+import time
+
+from repro.core.faultinject import FleetInjector
+from repro.core.supervisor import (
+    TERMINAL_STATES,
+    FleetSupervisor,
+    JobSpec,
+    RetryPolicy,
+    WatchdogConfig,
+    run_job,
+)
+
+from conftest import SCALE, save_and_show
+
+ITERS = max(2000, int(40_000 * SCALE))
+N_JOBS = max(8, int(60 * SCALE))
+WORKERS = 4
+
+LOOP_SRC = """\
+main:
+        movi r0, %d
+loop:
+        sub  r0, 1
+        jnz  loop
+        movi r0, 7
+        ret
+""" % ITERS
+
+FLAGS = ["--dispatch-quantum=200"]
+WATCHDOG = WatchdogConfig(wall_budget=120.0, heartbeat_timeout=5.0,
+                          poll_interval=0.01)
+
+
+def _jobs(program):
+    return [JobSpec(job_id=i, program=program, tool="none",
+                    flags=list(FLAGS)) for i in range(N_JOBS)]
+
+
+def test_fleet_bench(capsys, tmp_path):
+    program = str(tmp_path / "loop.s")
+    with open(program, "w") as f:
+        f.write(LOOP_SRC)
+
+    t0 = time.perf_counter()
+    for spec in _jobs(program):
+        res = run_job(spec.program, spec.tool,
+                      argv=[spec.program])
+        assert res.exit_code == 7
+    t_seq = time.perf_counter() - t0
+
+    with tempfile.TemporaryDirectory() as bundles:
+        t0 = time.perf_counter()
+        clean = FleetSupervisor(
+            _jobs(program), workers=WORKERS, watchdog=WATCHDOG,
+            bundle_dir=bundles,
+        ).run()
+        t_fleet = time.perf_counter() - t0
+
+    with tempfile.TemporaryDirectory() as bundles:
+        t0 = time.perf_counter()
+        chaos = FleetSupervisor(
+            _jobs(program), workers=WORKERS, watchdog=WATCHDOG,
+            policy=RetryPolicy(max_retries=2, backoff_base=0.01, seed=7),
+            inject=FleetInjector("kill:0.2,hang:0.05,seed=7"),
+            bundle_dir=bundles,
+        ).run()
+        t_chaos = time.perf_counter() - t0
+
+    assert clean["summary"]["succeeded"] == N_JOBS
+    mix = {s: chaos["summary"][s] for s in TERMINAL_STATES}
+    assert sum(mix.values()) == N_JOBS  # every job classified
+
+    rows = [
+        ("sequential", t_seq, None),
+        (f"fleet x{WORKERS}", t_fleet, None),
+        (f"fleet x{WORKERS} +chaos", t_chaos, mix),
+    ]
+    lines = [
+        f"fleet supervisor: {N_JOBS} jobs of {ITERS} loop iterations "
+        f"(tool=none, {WORKERS} workers)",
+        "",
+        f"{'mode':<22} {'wall (s)':>9} {'jobs/s':>8}",
+    ]
+    for name, wall, _ in rows:
+        lines.append(f"{name:<22} {wall:>9.2f} {N_JOBS / wall:>8.1f}")
+    lines += [
+        "",
+        "chaos terminal states: "
+        + " ".join(f"{k}={v}" for k, v in mix.items()),
+        "chaos attempts: %d  worker deaths: %d  hang reaps: %d"
+        % (chaos["summary"]["attempts"],
+           chaos["summary"]["worker_deaths"],
+           chaos["summary"]["watchdog_hang"]),
+    ]
+    save_and_show(capsys, "fleet", lines)

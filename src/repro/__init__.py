@@ -29,6 +29,15 @@ Quickstart::
 """
 
 from .core.options import Options, parse_argv
+from .core.supervisor import (
+    FleetSupervisor,
+    JobResult,
+    JobSpec,
+    RetryPolicy,
+    WatchdogConfig,
+    replay_bundle,
+    run_job,
+)
 from .core.tool import Tool
 from .core.valgrind import Valgrind, VgResult, run_tool
 from .guest.asm import assemble
@@ -42,6 +51,13 @@ __version__ = "1.0.0"
 __all__ = [
     "Options",
     "parse_argv",
+    "FleetSupervisor",
+    "JobResult",
+    "JobSpec",
+    "RetryPolicy",
+    "WatchdogConfig",
+    "replay_bundle",
+    "run_job",
     "Tool",
     "Valgrind",
     "VgResult",

@@ -20,9 +20,55 @@ symbolised call stack from the innermost frame outward.
 
 from __future__ import annotations
 
+import enum
 import fnmatch
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence, Tuple
+
+
+class ExitCode(enum.IntEnum):
+    """Every non-guest exit code the launcher and core can produce.
+
+    Guest programs own the ordinary 0..255 space; the framework reserves
+    the conventional high codes (``timeout(1)``-style) for stops it
+    causes itself, plus ``128 + sig`` for default-fatal guest signals.
+    """
+
+    OK = 0
+    #: Command-line / environment problem (bad option, missing file, ...).
+    USAGE = 2
+    #: A partial (crash-bundle) replay consumed the whole log and stopped.
+    REPLAY_EXHAUSTED = 96
+    #: --replay execution strayed from the recorded run.
+    REPLAY_DIVERGENCE = 97
+    #: A max_blocks execution budget expired (guest-caused, terminal).
+    BLOCK_BUDGET = 124
+    #: All client threads blocked on each other (guest-caused, terminal).
+    DEADLOCK = 125
+    #: Base for default-fatal guest signals: the process exits 128 + sig.
+    SIGNAL_BASE = 128
+
+    @classmethod
+    def for_signal(cls, sig: int) -> int:
+        """The exit code for a default-fatal guest signal."""
+        return int(cls.SIGNAL_BASE) + sig
+
+    @classmethod
+    def signal_of(cls, code: int) -> Optional[int]:
+        """The fatal signal behind *code*, if it encodes one."""
+        if int(cls.SIGNAL_BASE) < code < int(cls.SIGNAL_BASE) + 32:
+            return code - int(cls.SIGNAL_BASE)
+        return None
+
+    @classmethod
+    def is_guest_caused(cls, code: int) -> bool:
+        """True for exits the *guest* produced (normal exits, fatal guest
+        signals, budget/deadlock stops) as opposed to infrastructure
+        failures.  The fleet supervisor treats these as terminal: re-running
+        the same program deterministically reproduces them."""
+        return (0 <= code < int(cls.REPLAY_EXHAUSTED)
+                or code in (cls.BLOCK_BUDGET, cls.DEADLOCK)
+                or cls.signal_of(code) is not None)
 
 
 @dataclass(frozen=True)

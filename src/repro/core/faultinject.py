@@ -184,3 +184,126 @@ class FaultInjector:
             name: {"seen": r.seen, "fired": r.fired}
             for name, r in sorted(self.rules.items())
         }
+
+
+#: Worker-level fault kinds the fleet supervisor's chaos matrix schedules.
+FLEET_EVENTS = ("kill", "hang", "pygen-poison", "corrupt")
+
+
+class FleetInjector:
+    """A worker-level fault plan for the fleet supervisor's chaos matrix.
+
+    Same spec grammar as :class:`FaultInjector`, different event names::
+
+        --fleet-inject=kill:0.1,hang@4,pygen-poison:0.05,corrupt:0.2,seed=7
+
+    * ``kill``         — the worker SIGKILLs itself mid-run (crash isolation);
+    * ``hang``         — the worker stops heartbeating and sleeps forever
+      (exercises the watchdog's heartbeat reaper);
+    * ``pygen-poison`` — the worker raises InjectedPygenError from inside
+      the run (exercises retry + tier degradation to closures);
+    * ``corrupt``      — the job's shipped crash bundle is damaged in
+      transit (the supervisor must classify it, not crash).
+
+    Unlike FaultInjector's single sequential RNG stream, every decision
+    here is a pure function of ``(seed, job_id, attempt)``: ``kind@N``
+    fires on job N's *first* attempt, ``kind:P`` is an independent draw
+    per (job, attempt) seeded from those values.  Fault schedules are
+    therefore identical across fleet runs no matter how the OS schedules
+    workers or which order jobs complete in.
+    """
+
+    #: Worker directives fire at this heartbeat tick (1 = job start) so a
+    #: fault lands mid-run, after some events have been recorded.
+    _MAX_TICK = 4
+
+    def __init__(self, spec: str):
+        self.spec = spec
+        self.seed = 0
+        self.rules: Dict[str, _Rule] = {}
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            if part.startswith("seed="):
+                try:
+                    self.seed = int(part[5:], 0)
+                except ValueError:
+                    raise BadInjectSpec(f"bad seed in --fleet-inject: {part!r}")
+                continue
+            name, n, p = part, None, 0.0
+            if "@" in part:
+                name, _, num = part.partition("@")
+                try:
+                    n = int(num, 0)
+                except ValueError:
+                    raise BadInjectSpec(f"bad count in --fleet-inject: {part!r}")
+                if n < 1:
+                    raise BadInjectSpec(
+                        f"--fleet-inject counts are 1-based job ids: {part!r}"
+                    )
+            elif ":" in part:
+                name, _, prob = part.partition(":")
+                try:
+                    p = float(prob)
+                except ValueError:
+                    raise BadInjectSpec(
+                        f"bad probability in --fleet-inject: {part!r}"
+                    )
+                if not 0.0 <= p <= 1.0:
+                    raise BadInjectSpec(f"probability out of range: {part!r}")
+            if name not in FLEET_EVENTS:
+                raise BadInjectSpec(
+                    f"unknown --fleet-inject event {name!r} "
+                    f"(known: {', '.join(FLEET_EVENTS)})"
+                )
+            rule = self.rules.setdefault(name, _Rule())
+            if n is not None:
+                rule.at = n
+            else:
+                rule.prob = p
+
+    def _draw(self, name: str, job_id: int, attempt: int) -> bool:
+        """One deterministic decision for (event, job, attempt)."""
+        rule = self.rules.get(name)
+        if rule is None:
+            return False
+        rule.seen += 1
+        hit = False
+        if rule.at is not None and rule.at == job_id + 1 and attempt == 0:
+            hit = True
+        elif rule.prob > 0.0:
+            rng = self._rng(name, job_id, attempt)
+            hit = rng.random() < rule.prob
+        if hit:
+            rule.fired += 1
+        return hit
+
+    def _rng(self, name: str, job_id: int, attempt: int) -> random.Random:
+        # String seeds hash via SHA-512 in random.seed(), so this is
+        # stable across processes and interpreter runs (unlike hash()).
+        return random.Random(f"fleet:{self.seed}:{name}:{job_id}:{attempt}")
+
+    def directive(self, job_id: int, attempt: int):
+        """The worker-side fault directive for this (job, attempt), if any:
+        ``(kind, tick)`` where *tick* is the 1-based heartbeat tick at
+        which the fault fires inside the worker.  At most one directive
+        per attempt (priority: kill, hang, pygen-poison)."""
+        for name in ("kill", "hang", "pygen-poison"):
+            if self._draw(name, job_id, attempt):
+                tick = self._rng(name + ".tick", job_id, attempt).randint(
+                    1, self._MAX_TICK
+                )
+                return (name, tick)
+        return None
+
+    def corrupts(self, job_id: int, attempt: int) -> bool:
+        """Should this job's shipped crash bundle be damaged in transit?"""
+        return self._draw("corrupt", job_id, attempt)
+
+    def stats(self) -> Dict[str, Dict[str, int]]:
+        """Per-event {seen, fired} counts (for the fleet report)."""
+        return {
+            name: {"seen": r.seen, "fired": r.fired}
+            for name, r in sorted(self.rules.items())
+        }

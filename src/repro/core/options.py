@@ -68,6 +68,10 @@ class Options:
     megacache_size: int = 32768
     #: Run-statistics report format: "none" or "json" (--stats=json).
     stats_format: str = "none"
+    #: Write the stats JSON to this file instead of racing on stderr —
+    #: the per-job output channel for concurrent fleet workers
+    #: (--stats=json alone keeps printing to stderr).
+    stats_out: Optional[str] = None
     #: Precise synchronous faults: roll guest state to the exact faulting
     #: instruction boundary before delivering SIGSEGV/SIGFPE/SIGILL.
     precise_faults: bool = True
@@ -79,6 +83,11 @@ class Options:
     inject: Optional[str] = None
     #: Record every nondeterministic decision into this log file.
     record: Optional[str] = None
+    #: While recording, atomically rewrite the log every N events (0 =
+    #: only at run end).  Crash-bundle support: a worker killed mid-run
+    #: leaves a loadable prefix that replays partially to the exact
+    #: point the last flush captured.
+    record_flush_every: int = 0
     #: Replay a run from this log file, verifying each decision.
     replay: Optional[str] = None
     #: While recording, snapshot full architected state every N guest
@@ -146,6 +155,10 @@ class Options:
             if value not in ("none", "json"):
                 raise BadOption(f"--stats must be none|json, got {value!r}")
             self.stats_format = value
+        elif name == "stats-out":
+            if not value:
+                raise BadOption("--stats-out needs a file path")
+            self.stats_out = value
         elif name == "codegen":
             if value not in ("closures", "pygen", "auto"):
                 raise BadOption(
@@ -193,6 +206,11 @@ class Options:
             if n < 1:
                 raise BadOption("--checkpoint-every must be >= 1")
             self.checkpoint_every = n
+        elif name == "record-flush":
+            n = int(value, 0)
+            if n < 1:
+                raise BadOption("--record-flush must be >= 1")
+            self.record_flush_every = n
         elif name in self._FLAG_NAMES:
             if value not in ("yes", "no", ""):
                 raise BadOption(f"--{name} must be yes|no")

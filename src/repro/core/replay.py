@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 import struct
 import zlib
 from collections import deque
@@ -35,6 +36,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..kernel.kernel import ACCESS_CODES, SigInfo
+from .errors import ExitCode
 from .faultinject import InjectedJitError
 from .threadstate import ThreadState, ThreadStatus
 
@@ -84,7 +86,8 @@ INJECT_CODES = {"segv": 0, "smc-flush": 1, "evict": 2}
 INJECT_NAMES = {v: k for k, v in INJECT_CODES.items()}
 
 #: RunOutcome.stopped_reason encoding (EV_EXIT args[2]).
-STOP_CODES = {None: 0, "deadlock": 1, "block-budget": 2}
+STOP_CODES = {None: 0, "deadlock": 1, "block-budget": 2,
+              "replay-exhausted": 3}
 STOP_NAMES = {v: k for k, v in STOP_CODES.items()}
 
 _ACCESS_NAMES = {v: k for k, v in ACCESS_CODES.items()}
@@ -103,6 +106,8 @@ class ReplayFormatError(ReplayError):
 class ReplayDivergence(ReplayError):
     """Replayed execution strayed from the recorded one."""
 
+    exit_code = ExitCode.REPLAY_DIVERGENCE
+
     def __init__(self, index: int, expected, actual, pc: int = 0,
                  insns: int = 0):
         self.index = index
@@ -113,6 +118,25 @@ class ReplayDivergence(ReplayError):
         super().__init__(
             f"replay divergence at event #{index}: expected {expected}, "
             f"actual {actual} (pc={pc:#x}, guest_insns={insns})"
+        )
+
+
+class ReplayLogExhausted(ReplayError):
+    """A *partial* log (a crash bundle flushed mid-run by a worker that was
+    then killed) ran out of events.  Not an error in partial mode: the
+    scheduler catches it and stops cleanly at the exact point the recording
+    reached — (event index, pc, guest_insns) — so a crash replays to the
+    same instruction on any machine."""
+
+    exit_code = ExitCode.REPLAY_EXHAUSTED
+
+    def __init__(self, index: int, pc: int = 0, insns: int = 0):
+        self.index = index
+        self.pc = pc
+        self.insns = insns
+        super().__init__(
+            f"partial replay log exhausted after event #{index} "
+            f"(pc={pc:#x}, guest_insns={insns})"
         )
 
 
@@ -398,8 +422,12 @@ class EventLog:
         return cls.from_bytes(data)
 
     def save(self, path: str) -> None:
-        with open(path, "wb") as f:
+        # Atomic: a reader (or a worker killed mid-write) only ever sees
+        # the previous complete log, never a torn one.
+        tmp = f"{path}.tmp.{os.getpid()}"
+        with open(tmp, "wb") as f:
             f.write(self.to_bytes())
+        os.replace(tmp, path)
 
 
 # -- the record/replay contract ------------------------------------------------
@@ -695,6 +723,7 @@ class Recorder:
         self.sched = None
         self._suspended = 0
         self.checkpoint_bytes = 0
+        self.flushes = 0
 
     # -- wiring ----------------------------------------------------------------
 
@@ -738,6 +767,28 @@ class Recorder:
         if self._suspended:
             return
         self.log.append(Event(kind, tid, self._now(), args, blob))
+        # Incremental crash-bundle persistence: with --record-flush=N the
+        # log is (atomically) rewritten every N events, so a worker killed
+        # mid-run leaves a complete, loadable prefix on disk.
+        every = getattr(self.options, "record_flush_every", 0)
+        if every and self.options.record \
+                and len(self.log.events) % every == 0:
+            self.log.save(self.options.record)
+            self.flushes += 1
+            self._flushed_events = len(self.log.events)
+
+    def autoflush(self) -> None:
+        """Dispatch-quantum flush hook: with --record-flush active, also
+        persist at quantum boundaries, so compute-heavy guests that emit
+        few events still leave an up-to-date prefix when killed."""
+        every = getattr(self.options, "record_flush_every", 0)
+        if not every or not self.options.record or self._suspended:
+            return
+        if len(self.log.events) == getattr(self, "_flushed_events", -1):
+            return
+        self.log.save(self.options.record)
+        self.flushes += 1
+        self._flushed_events = len(self.log.events)
 
     # -- recording hooks (called by scheduler/syscalls/transtab) ---------------
 
@@ -817,6 +868,7 @@ class Recorder:
             "events_recorded": len(self.log.events),
             "checkpoints": len(self.log.checkpoints),
             "checkpoint_bytes": self.checkpoint_bytes,
+            "flushes": self.flushes,
             "divergences": 0,
         }
 
@@ -837,6 +889,11 @@ class Replayer:
         self.divergences = 0
         self.checkpoints_verified = 0
         self._suspended = 0
+        #: A log whose final event is not EV_EXIT was flushed mid-run by a
+        #: worker that then crashed (a crash bundle): replay it *partially*
+        #: — run until the log is exhausted, then stop cleanly at the exact
+        #: recorded point instead of diverging.
+        self.partial = not (log.events and log.events[-1].kind == EV_EXIT)
         #: (event index, insns) of every EV_CHECKPOINT, for next_stop.
         self._ckpt_points = [
             (i, ev.insns) for i, ev in enumerate(log.events)
@@ -884,6 +941,9 @@ class Replayer:
     def take(self, expect: str) -> Event:
         ev = self.peek()
         if ev is None:
+            if self.partial:
+                raise ReplayLogExhausted(self.pos, pc=self._pc(),
+                                         insns=self._now())
             self.diverge(f"a {expect} event", "log exhausted")
         self.pos += 1
         self.consumed += 1
@@ -1027,6 +1087,19 @@ class Replayer:
         self.checkpoints_verified += 1
 
     def finish(self, outcome) -> None:
+        if self.partial:
+            # A crash bundle has no EV_EXIT.  Exhaustion (the normal end
+            # of a partial replay) leaves nothing to verify; a guest that
+            # exits *early*, with recorded events still unconsumed, did
+            # not follow the recording.
+            if self.pos < len(self.log.events):
+                self.diverge(
+                    "end of partial log",
+                    f"guest stopped with {len(self.log.events) - self.pos} "
+                    f"events left (next: "
+                    f"{self.log.events[self.pos].describe()})",
+                )
+            return
         ev = self.take("exit")
         actual = (
             outcome.exit_code & 0xFF,
@@ -1048,6 +1121,7 @@ class Replayer:
     def stats_dict(self) -> dict:
         return {
             "mode": "replay",
+            "partial": self.partial,
             "log_events": len(self.log.events),
             "events_consumed": self.consumed,
             "divergences": self.divergences,

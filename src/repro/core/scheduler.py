@@ -37,6 +37,7 @@ from ..kernel.sigframe import FRAME_PUSH, pop_signal_frame, push_signal_frame
 from . import clientreq as CR
 from .codegen import CodegenTiers
 from .dispatch import Dispatcher
+from .errors import ExitCode
 from .events import EventRegistry
 from .faultinject import FaultInjector
 from .function_wrap import FunctionRedirector
@@ -46,6 +47,7 @@ from .replay import (
     Recorder,
     Replayer,
     ReplayFormatError,
+    ReplayLogExhausted,
     apply_snapshot,
     EV_CHECKPOINT,
     unpack_obj,
@@ -219,8 +221,10 @@ class RunOutcome:
 
 
 #: Exit codes for guest-caused abnormal stops (timeout(1) convention).
-EXIT_BLOCK_BUDGET = 124
-EXIT_DEADLOCK = 125
+#: Kept as module-level ints for backward compatibility; the canonical
+#: definitions live in :class:`repro.core.errors.ExitCode`.
+EXIT_BLOCK_BUDGET = int(ExitCode.BLOCK_BUDGET)
+EXIT_DEADLOCK = int(ExitCode.DEADLOCK)
 
 
 class Scheduler:
@@ -266,6 +270,14 @@ class Scheduler:
         self.quarantined_blocks = 0
         self.faults_recovered = 0
         self.pygen_demotions = 0
+        #: Optional embedding hook called with guest_insns at every
+        #: dispatch-quantum / checkpoint boundary: the fleet supervisor's
+        #: worker heartbeat (see core/supervisor.py).  A passive observer —
+        #: it must not mutate guest state.
+        self.on_progress = None
+        #: (event index, pc, guest_insns) where a partial crash-bundle
+        #: replay ran out of log, if it did.
+        self.replay_exhausted_at: Optional[Tuple[int, int, int]] = None
         #: Deterministic fault-injection plan, if --inject was given.
         #: Under --replay the live injector is disabled: recorded
         #: injection events are imposed from the log instead.
@@ -305,7 +317,8 @@ class Scheduler:
             self.hostcpu,
             options,
             injector=self.injector,
-            collect_exec_times=(options.stats_format == "json"),
+            collect_exec_times=(options.stats_format == "json"
+                                or options.stats_out is not None),
             on_demote=self._on_pygen_demoted,
         )
         if options.codegen != "closures":
@@ -694,6 +707,35 @@ class Scheduler:
     # -- the main loop ------------------------------------------------------------------------
 
     def run(self, max_blocks: Optional[int] = None) -> RunOutcome:
+        try:
+            self._run_loop(max_blocks)
+        except ReplayLogExhausted as exc:
+            # A partial (crash-bundle) replay consumed its whole log:
+            # stop cleanly at the exact recorded point instead of
+            # treating the truncation as a divergence.  The interrupted
+            # thread may still hold the big lock.
+            self.stopped_reason = "replay-exhausted"
+            self.replay_exhausted_at = (exc.index, exc.pc, exc.insns)
+            self._exit = ProcessExit(int(ExitCode.REPLAY_EXHAUSTED))
+            if self.big_lock.holder is not None:
+                self.big_lock.release(self.big_lock.holder)
+        exit_code = self._exit.status if self._exit else 0
+        outcome = RunOutcome(
+            exit_code=exit_code,
+            fatal_signal=self.fatal_signal,
+            blocks_executed=self.dispatcher.stats.blocks_executed,
+            guest_insns=self.guest_insns(),
+            translations=self.translator.translations_made,
+            stopped_reason=self.stopped_reason,
+            fault_info=self.fault_info,
+        )
+        if self.rr is not None:
+            # Record the final outcome — or, on replay, verify it against
+            # the recording and assert the log was consumed completely.
+            self.rr.finish(outcome)
+        return outcome
+
+    def _run_loop(self, max_blocks: Optional[int]) -> None:
         # tid -> join target; rebuilt from thread statuses so a --restore
         # resumed mid-run re-learns who was blocked at the checkpoint.
         blocked: Dict[int, int] = {
@@ -790,6 +832,10 @@ class Scheduler:
                     continue
                 if reason == "quantum":
                     slice_left -= self.options.dispatch_quantum
+                    if rr is not None and hasattr(rr, "autoflush"):
+                        rr.autoflush()
+                    if self.on_progress is not None:
+                        self.on_progress(self.dispatcher.guest_insns)
                     continue
                 if reason == "signals":
                     # A pending async signal was observed mid-quantum.
@@ -801,6 +847,8 @@ class Scheduler:
                     slice_left -= max(1, payload)
                     if rr is not None:
                         rr.at_insns_stop(tid, slice_left)
+                    if self.on_progress is not None:
+                        self.on_progress(self.dispatcher.guest_insns)
                     continue
                 if reason == "fault":
                     # Precise synchronous fault: the dispatcher already
@@ -882,22 +930,6 @@ class Scheduler:
             self.big_lock.release(tid)
             if self._exit is None and reschedule and tid in self.threads:
                 self._run_queue.append(tid)
-
-        exit_code = self._exit.status if self._exit else 0
-        outcome = RunOutcome(
-            exit_code=exit_code,
-            fatal_signal=self.fatal_signal,
-            blocks_executed=self.dispatcher.stats.blocks_executed,
-            guest_insns=self.guest_insns(),
-            translations=self.translator.translations_made,
-            stopped_reason=self.stopped_reason,
-            fault_info=self.fault_info,
-        )
-        if self.rr is not None:
-            # Record the final outcome — or, on replay, verify it against
-            # the recording and assert the log was consumed completely.
-            self.rr.finish(outcome)
-        return outcome
 
     def _inject_dispatch_event(self, tid: int, ts, event: str) -> None:
         """Apply one scheduled --inject dispatch event."""

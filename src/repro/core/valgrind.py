@@ -81,6 +81,10 @@ class Valgrind:
         self._log_file = None
         self.program: Optional[LoadedProgram] = None
         self.scheduler: Optional[Scheduler] = None
+        #: Optional embedding hook, forwarded to the scheduler: called
+        #: with guest_insns at every dispatch-quantum boundary (the fleet
+        #: worker heartbeat).  Set it before run().
+        self.on_progress = None
         self.error_mgr = ErrorManager(self.tool.name, self.log, self._symbolise)
 
         # Tell the tool to initialise itself, then give it the unclaimed
@@ -231,6 +235,7 @@ class Valgrind:
             redirector=self.redirector,
             error_mgr=self.error_mgr,
         )
+        self.scheduler.on_progress = self.on_progress
         if self.options.restore:
             self.scheduler.restore_from(self.options.restore)
         self.tool.post_clo_init()

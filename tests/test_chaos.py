@@ -16,8 +16,8 @@ import itertools
 import pytest
 
 from repro import Options, run_tool
+from repro.core.errors import ExitCode
 from repro.core.faultinject import BadInjectSpec, FaultInjector
-from repro.core.scheduler import EXIT_BLOCK_BUDGET, EXIT_DEADLOCK
 
 from .helpers import asm_image
 
@@ -143,10 +143,10 @@ def assert_well_formed(res, ctx):
     assert res.exit_code == o.exit_code, ctx
     if o.fatal_signal is not None:
         assert 1 <= o.fatal_signal < 32, ctx
-        assert res.exit_code == 128 + o.fatal_signal, ctx
+        assert res.exit_code == ExitCode.for_signal(o.fatal_signal), ctx
     elif o.stopped_reason is not None:
         assert o.stopped_reason in ("deadlock", "block-budget"), ctx
-        assert res.exit_code in (EXIT_BLOCK_BUDGET, EXIT_DEADLOCK), ctx
+        assert res.exit_code in (ExitCode.BLOCK_BUDGET, ExitCode.DEADLOCK), ctx
 
 
 @pytest.mark.parametrize(

@@ -9,7 +9,7 @@ from __future__ import annotations
 import pytest
 
 from repro import Options, run_tool
-from repro.core.scheduler import EXIT_BLOCK_BUDGET, EXIT_DEADLOCK
+from repro.core.errors import ExitCode
 from repro.kernel.kernel import SIGFPE, SIGILL, SIGKILL, SIGSEGV, SIGTERM
 from repro.core.tool import Tool
 
@@ -84,7 +84,7 @@ main:   movi r2, {BAD:#x}
     def test_triple_identical_across_engines(self, name):
         nat, dflt, perf = run_three(self.CASES[name])
         assert nat.fatal_signal is not None
-        assert nat.exit_code == 128 + nat.fatal_signal
+        assert nat.exit_code == ExitCode.for_signal(nat.fatal_signal)
         assert dflt.exit_code == nat.exit_code == perf.exit_code
         assert (dflt.outcome.fatal_signal == nat.fatal_signal
                 == perf.outcome.fatal_signal)
@@ -330,7 +330,7 @@ main:   movi r0, 16          ; thread_join(99): never satisfied
         halt
 """
         res = vg(src)
-        assert res.exit_code == EXIT_DEADLOCK
+        assert res.exit_code == ExitCode.DEADLOCK
         assert res.outcome.stopped_reason == "deadlock"
         assert "deadlocked" in res.log
 
@@ -341,7 +341,7 @@ main:   jmp main
 """
         res = run_tool("none", asm_image(src),
                        options=Options(log_target="capture"), max_blocks=50)
-        assert res.exit_code == EXIT_BLOCK_BUDGET
+        assert res.exit_code == ExitCode.BLOCK_BUDGET
         assert res.outcome.stopped_reason == "block-budget"
 
 
@@ -363,7 +363,7 @@ wait:   jmp wait
 """
         for perf in (False, True):
             res = vg(src, perf=perf)
-            assert res.exit_code == 128 + SIGTERM
+            assert res.exit_code == ExitCode.for_signal(SIGTERM)
             assert res.outcome.fatal_signal == SIGTERM
             assert "not in executable memory" in res.log
 
@@ -388,5 +388,5 @@ wait:   jmp wait
 """
         res = run_tool(StaleKill(), asm_image(src),
                        options=Options(log_target="capture"))
-        assert res.exit_code == 128 + SIGKILL
+        assert res.exit_code == ExitCode.for_signal(SIGKILL)
         assert res.outcome.fatal_signal == SIGKILL

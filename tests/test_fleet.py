@@ -1,0 +1,590 @@
+"""Fleet supervisor: crash isolation, watchdog, retry/backoff, tier
+degradation, and replay crash bundles.
+
+The contract under test is the supervisor's: every job ends in exactly
+one classified terminal state no matter what its worker does (SIGKILL
+mid-run, hang, injected JIT failure, corrupted bundle), two fleets with
+the same seed produce the identical normalized report, and every intact
+crash bundle replays bit-exactly to the same endpoint in the parent.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.core.errors import ExitCode
+from repro.core.faultinject import BadInjectSpec, FleetInjector
+from repro.core.replay import EV_EXIT, EventLog
+from repro.core.supervisor import (
+    TERMINAL_STATES,
+    FleetSupervisor,
+    JobResult,
+    JobSpec,
+    RetryPolicy,
+    WatchdogConfig,
+    corrupt_bundle_log,
+    merge_stats,
+    normalize_report,
+    replay_bundle,
+    run_job,
+)
+from repro.guest.program import VxImage
+
+from .helpers import asm_image
+
+QUICK = bool(os.environ.get("REPRO_TEST_QUICK"))
+
+#: A compute loop long enough for many dispatch-quantum heartbeats.
+LOOP_SRC = """\
+main:
+        movi r0, 4000
+loop:
+        sub  r0, 1
+        jnz  loop
+        movi r0, 7
+        ret
+"""
+
+#: Dies of SIGSEGV (guest-caused fatal signal, exit 128+11).
+CRASH_SRC = """\
+main:
+        ld   r0, [0x90000000]
+        ret
+"""
+
+#: Never terminates: only a block budget stops it (exit 124).
+SPIN_SRC = """\
+main:
+spin:
+        jmp  spin
+"""
+
+#: Per-job flags making heartbeats frequent for every test fleet.
+QUANTUM = ["--dispatch-quantum=50"]
+
+WATCHDOG = WatchdogConfig(wall_budget=60.0, heartbeat_timeout=1.0,
+                          poll_interval=0.01)
+
+
+@pytest.fixture(scope="module")
+def progs(tmp_path_factory):
+    d = tmp_path_factory.mktemp("fleet-progs")
+    out = {}
+    for name, src in (("loop", LOOP_SRC), ("crash", CRASH_SRC),
+                      ("spin", SPIN_SRC)):
+        path = d / f"{name}.s"
+        path.write_text(src)
+        out[name] = str(path)
+    return out
+
+
+def make_jobs(program, n, *, tool="none", flags=(), max_blocks=20_000):
+    return [
+        JobSpec(job_id=i, program=program, tool=tool,
+                flags=QUANTUM + list(flags), max_blocks=max_blocks)
+        for i in range(n)
+    ]
+
+
+class _FixedInjector:
+    """Duck-typed FleetInjector: one fixed directive for every first
+    attempt, none for retries."""
+
+    def __init__(self, kind, tick, corrupt=False, every_attempt=False):
+        self.spec = f"fixed:{kind}@{tick}"
+        self._kind, self._tick = kind, tick
+        self._corrupt = corrupt
+        self._every = every_attempt
+
+    def directive(self, job_id, attempt):
+        if attempt == 0 or self._every:
+            return (self._kind, self._tick)
+        return None
+
+    def corrupts(self, job_id, attempt):
+        return self._corrupt
+
+    def stats(self):
+        return {}
+
+
+class TestExitCode:
+    def test_values(self):
+        assert ExitCode.REPLAY_EXHAUSTED == 96
+        assert ExitCode.REPLAY_DIVERGENCE == 97
+        assert ExitCode.BLOCK_BUDGET == 124
+        assert ExitCode.DEADLOCK == 125
+        assert ExitCode.SIGNAL_BASE == 128
+
+    def test_signal_round_trip(self):
+        assert ExitCode.for_signal(11) == 139
+        assert ExitCode.signal_of(139) == 11
+        assert ExitCode.signal_of(0) is None
+        assert ExitCode.signal_of(300) is None
+
+    def test_guest_caused(self):
+        for code in (0, 7, ExitCode.BLOCK_BUDGET, ExitCode.DEADLOCK,
+                     ExitCode.for_signal(11)):
+            assert ExitCode.is_guest_caused(code), code
+        for code in (ExitCode.REPLAY_EXHAUSTED, ExitCode.REPLAY_DIVERGENCE,
+                     200, -1):
+            assert not ExitCode.is_guest_caused(code), code
+
+
+class TestRunJob:
+    def test_tooled_run(self, progs):
+        res = run_job(progs["loop"], "none")
+        assert isinstance(res, JobResult)
+        assert res.exit_code == 7
+        assert res.error is None
+        assert res.guest_insns > 4000
+
+    def test_accepts_image(self):
+        img = asm_image("main:\n    movi r0, 9\n    ret\n")
+        assert run_job(img, "none").exit_code == 9
+        assert isinstance(img, VxImage)
+
+    def test_native_run(self, progs):
+        res = run_job(progs["loop"], None)
+        assert res.exit_code == 7
+
+    def test_missing_program(self, tmp_path):
+        res = run_job(str(tmp_path / "nope.s"), "none")
+        assert res.exit_code == ExitCode.USAGE
+        assert res.error is not None
+
+    def test_unknown_tool(self, progs):
+        res = run_job(progs["loop"], "no-such-tool")
+        assert res.exit_code == ExitCode.USAGE
+        assert "no-such-tool" in res.error
+
+    def test_fatal_signal(self, progs):
+        res = run_job(progs["crash"], "none")
+        assert res.exit_code == ExitCode.for_signal(res.fatal_signal)
+        assert res.error is None  # a completed (classified) guest run
+
+    def test_block_budget(self, progs):
+        res = run_job(progs["spin"], "none", max_blocks=500)
+        assert res.exit_code == ExitCode.BLOCK_BUDGET
+        assert res.stopped_reason == "block-budget"
+
+    def test_on_progress_heartbeat(self, progs):
+        beats = []
+        from repro.core.options import Options
+
+        opts = Options(log_target="capture", dispatch_quantum=50)
+        res = run_job(progs["loop"], "none", opts, on_progress=beats.append)
+        assert res.exit_code == 7
+        assert len(beats) >= 10
+        assert beats == sorted(beats)  # instruction counts never regress
+
+    def test_stats_out(self, progs, tmp_path):
+        from repro.core.options import Options
+
+        out = tmp_path / "stats.json"
+        opts = Options(log_target="capture", stats_out=str(out))
+        res = run_job(progs["loop"], "none", opts)
+        assert res.stats is not None
+        payload = json.loads(out.read_text())
+        assert payload["tool"] == "none"
+        assert payload["exit_code"] == 7
+
+
+class TestStatsOutCLI:
+    def test_stats_out_flag(self, progs, tmp_path, capsys):
+        out = tmp_path / "s.json"
+        rc = cli_main([f"--tool=none", f"--stats-out={out}", progs["loop"]])
+        assert rc == 7
+        assert json.loads(out.read_text())["exit_code"] == 7
+        # --stats-out alone must not print the payload to stderr
+        assert '"transtab"' not in capsys.readouterr().err
+
+    def test_stats_json_still_prints(self, progs, capsys):
+        rc = cli_main(["--tool=none", "--stats=json", progs["loop"]])
+        assert rc == 7
+        assert '"transtab"' in capsys.readouterr().err
+
+
+class TestFleetInjector:
+    def test_bad_specs(self):
+        for spec in ("frobnicate:0.5", "kill@0", "hang:1.5", "kill@x",
+                     "seed=q"):
+            with pytest.raises(BadInjectSpec):
+                FleetInjector(spec)
+
+    def test_at_fires_on_one_job(self):
+        inj = FleetInjector("kill@3,seed=1")
+        fired = [(j, a) for j in range(6) for a in range(3)
+                 if inj.directive(j, a)]
+        assert fired == [(2, 0)]
+
+    def test_deterministic_across_instances(self):
+        grid = [(j, a) for j in range(20) for a in range(3)]
+        spec = "kill:0.3,hang:0.2,pygen-poison:0.1,seed=9"
+        a = [FleetInjector(spec).directive(j, at) for j, at in grid]
+        b = [FleetInjector(spec).directive(j, at) for j, at in grid]
+        assert a == b
+        assert any(d is not None for d in a)
+
+    def test_corrupts_deterministic(self):
+        spec = "corrupt:0.5,seed=4"
+        a = [FleetInjector(spec).corrupts(j, 0) for j in range(40)]
+        b = [FleetInjector(spec).corrupts(j, 0) for j in range(40)]
+        assert a == b
+        assert any(a) and not all(a)
+
+    def test_priority_kill_first(self):
+        inj = FleetInjector("kill:1.0,hang:1.0,pygen-poison:1.0")
+        kind, tick = inj.directive(0, 0)
+        assert kind == "kill"
+        assert 1 <= tick <= 4
+
+    def test_independent_of_order(self):
+        spec = "kill:0.4,seed=2"
+        a = FleetInjector(spec)
+        b = FleetInjector(spec)
+        forward = [a.directive(j, 0) for j in range(10)]
+        backward = [b.directive(j, 0) for j in reversed(range(10))]
+        assert forward == list(reversed(backward))
+
+
+class TestRetryPolicy:
+    def test_backoff_deterministic(self):
+        p1 = RetryPolicy(seed=5)
+        p2 = RetryPolicy(seed=5)
+        sched = [(j, n) for j in range(8) for n in range(1, 4)]
+        assert [p1.backoff(j, n) for j, n in sched] == \
+               [p2.backoff(j, n) for j, n in sched]
+
+    def test_backoff_grows(self):
+        p = RetryPolicy(seed=0, backoff_base=0.05, backoff_factor=2.0)
+        for job in range(5):
+            assert p.backoff(job, 2) > p.backoff(job, 1)
+            assert p.backoff(job, 3) > p.backoff(job, 2)
+
+    def test_seed_changes_schedule(self):
+        a = [RetryPolicy(seed=1).backoff(j, 1) for j in range(16)]
+        b = [RetryPolicy(seed=2).backoff(j, 1) for j in range(16)]
+        assert a != b
+
+
+class TestFleetBasics:
+    def test_all_succeed(self, progs, tmp_path):
+        jobs = make_jobs(progs["loop"], 6, flags=["--stats=json"])
+        sup = FleetSupervisor(jobs, workers=3, watchdog=WATCHDOG,
+                              bundle_dir=str(tmp_path))
+        report = sup.run()
+        assert report["summary"]["succeeded"] == 6
+        assert report["summary"]["attempts"] == 6
+        for job in report["jobs"]:
+            assert job["terminal"] == "succeeded"
+            assert job["exit_code"] == 7
+        # aggregated --stats=json: numeric leaves sum across jobs
+        assert report["stats"]["dispatch"]["guest_insns"] > 6 * 4000
+        # successful jobs leave no bundles behind
+        assert not [f for f in os.listdir(tmp_path) if f.endswith(".rrlog")]
+
+    def test_guest_caused_exits_are_terminal(self, progs, tmp_path):
+        jobs = [
+            JobSpec(0, progs["loop"], "none", flags=list(QUANTUM)),
+            JobSpec(1, progs["crash"], "none", flags=list(QUANTUM)),
+            JobSpec(2, progs["spin"], "none", flags=list(QUANTUM),
+                    max_blocks=500),
+        ]
+        sup = FleetSupervisor(jobs, workers=3, watchdog=WATCHDOG,
+                              bundle_dir=str(tmp_path))
+        report = sup.run()
+        assert report["summary"]["succeeded"] == 3
+        codes = [j["exit_code"] for j in report["jobs"]]
+        assert codes == [7, int(ExitCode.for_signal(11)),
+                         int(ExitCode.BLOCK_BUDGET)]
+        assert report["summary"]["attempts"] == 3  # no pointless retries
+
+    def test_native_jobs(self, progs, tmp_path):
+        jobs = make_jobs(progs["loop"], 2, tool=None)
+        sup = FleetSupervisor(jobs, workers=2, watchdog=WATCHDOG,
+                              bundle_dir=str(tmp_path))
+        report = sup.run()
+        assert report["summary"]["succeeded"] == 2
+
+    def test_bad_flags_complete_as_usage(self, progs, tmp_path):
+        jobs = [JobSpec(0, progs["loop"], "none",
+                        flags=["--stats=banana"])]
+        report = FleetSupervisor(jobs, workers=1, watchdog=WATCHDOG,
+                                 bundle_dir=str(tmp_path)).run()
+        job = report["jobs"][0]
+        assert job["terminal"] == "succeeded"  # classified, not retried
+        assert job["exit_code"] == ExitCode.USAGE
+        assert job["error"]
+
+
+class TestWatchdogAndRetry:
+    def test_kill_is_retried_then_succeeds(self, progs, tmp_path):
+        sup = FleetSupervisor(
+            make_jobs(progs["loop"], 2), workers=2, watchdog=WATCHDOG,
+            policy=RetryPolicy(max_retries=2, backoff_base=0.01, seed=1),
+            inject=_FixedInjector("kill", 4),
+            bundle_dir=str(tmp_path),
+        )
+        report = sup.run()
+        assert report["summary"]["retried-then-succeeded"] == 2
+        assert report["summary"]["worker_deaths"] == 2
+        assert report["summary"]["worker_respawns"] >= 2
+        for job in report["jobs"]:
+            outcomes = [a["outcome"] for a in job["attempts"]]
+            assert outcomes == ["worker-died", "completed"]
+            assert job["attempts"][0]["backoff"] > 0
+
+    def test_hang_reaped_by_heartbeat_watchdog(self, progs, tmp_path):
+        sup = FleetSupervisor(
+            make_jobs(progs["loop"], 1), workers=1, watchdog=WATCHDOG,
+            policy=RetryPolicy(max_retries=1, backoff_base=0.01, seed=1),
+            inject=_FixedInjector("hang", 3),
+            bundle_dir=str(tmp_path),
+        )
+        report = sup.run()
+        job = report["jobs"][0]
+        assert job["terminal"] == "retried-then-succeeded"
+        assert job["attempts"][0]["outcome"] == "watchdog-hang"
+        assert report["summary"]["watchdog_hang"] == 1
+
+    def test_retries_exhausted_is_terminal_failure(self, progs, tmp_path):
+        sup = FleetSupervisor(
+            make_jobs(progs["loop"], 1), workers=1, watchdog=WATCHDOG,
+            policy=RetryPolicy(max_retries=1, backoff_base=0.01, seed=1),
+            inject=_FixedInjector("kill", 4, every_attempt=True),
+            bundle_dir=str(tmp_path),
+        )
+        report = sup.run()
+        job = report["jobs"][0]
+        assert job["terminal"] == "terminal-failure"
+        assert [a["outcome"] for a in job["attempts"]] == \
+               ["worker-died", "worker-died"]
+        assert job["bundle_status"] == "ok"
+        assert job["bundle"].endswith(".bundle.json")
+
+
+class TestTierDegradation:
+    def test_pygen_poison_degrades_to_closures(self, progs, tmp_path):
+        sup = FleetSupervisor(
+            make_jobs(progs["loop"], 2, flags=["--codegen=pygen"]),
+            workers=2, watchdog=WATCHDOG,
+            policy=RetryPolicy(max_retries=0, jit_degrade_after=1, seed=3),
+            inject=_FixedInjector("pygen-poison", 3, every_attempt=True),
+            bundle_dir=str(tmp_path),
+        )
+        report = sup.run()
+        for job in report["jobs"]:
+            assert job["terminal"] == "degraded-tier-succeeded"
+            assert job["degraded"] is True
+            assert job["exit_code"] == 7
+            assert [a["class"] for a in job["attempts"]] == ["jit", "ok"]
+
+    def test_jit_failures_do_not_burn_infra_retries(self, progs, tmp_path):
+        sup = FleetSupervisor(
+            make_jobs(progs["loop"], 1, flags=["--codegen=pygen"]),
+            workers=1, watchdog=WATCHDOG,
+            policy=RetryPolicy(max_retries=0, jit_degrade_after=2, seed=3),
+            inject=_FixedInjector("pygen-poison", 2, every_attempt=True),
+            bundle_dir=str(tmp_path),
+        )
+        report = sup.run()
+        job = report["jobs"][0]
+        # two jit failures (max_retries=0!) then a degraded success
+        assert job["terminal"] == "degraded-tier-succeeded"
+        assert len(job["attempts"]) == 3
+
+
+class TestFleetDeterminism:
+    """Satellite: same seed => identical retry schedule, backoff
+    sequence and terminal classification across two whole fleet runs."""
+
+    CHAOS = "kill:0.25,hang:0.1,corrupt:0.5,seed=11"
+
+    def _run(self, progs, bundle_dir):
+        sup = FleetSupervisor(
+            make_jobs(progs["loop"], 8 if QUICK else 12),
+            workers=4,
+            watchdog=WATCHDOG,
+            policy=RetryPolicy(max_retries=1, backoff_base=0.01, seed=11),
+            inject=FleetInjector(self.CHAOS),
+            bundle_dir=str(bundle_dir),
+            verify_bundles=True,
+        )
+        return sup.run()
+
+    def test_same_seed_same_report(self, progs, tmp_path):
+        a = self._run(progs, tmp_path / "a")
+        b = self._run(progs, tmp_path / "b")
+        na, nb = normalize_report(a), normalize_report(b)
+        assert na == nb
+        # the run was actually chaotic, not trivially identical
+        assert a["summary"]["worker_deaths"] + \
+            a["summary"]["watchdog_hang"] > 0
+
+    def test_backoff_sequences_identical(self, progs, tmp_path):
+        a = self._run(progs, tmp_path / "c")
+        b = self._run(progs, tmp_path / "d")
+        backoffs_a = [[att["backoff"] for att in j["attempts"]]
+                      for j in a["jobs"]]
+        backoffs_b = [[att["backoff"] for att in j["attempts"]]
+                      for j in b["jobs"]]
+        assert backoffs_a == backoffs_b
+
+
+class TestCrashBundles:
+    """Satellite: a worker killed mid-run under --record yields a bundle
+    that replays bit-exactly in the parent."""
+
+    def _terminal_kill(self, progs, bundle_dir, tick=4):
+        sup = FleetSupervisor(
+            make_jobs(progs["loop"], 1), workers=1, watchdog=WATCHDOG,
+            policy=RetryPolicy(max_retries=0, seed=0),
+            inject=_FixedInjector("kill", tick),
+            bundle_dir=str(bundle_dir),
+        )
+        report = sup.run()
+        return report["jobs"][0]
+
+    def test_bundle_replays_bit_exactly(self, progs, tmp_path):
+        job = self._terminal_kill(progs, tmp_path)
+        assert job["terminal"] == "terminal-failure"
+        assert job["bundle_status"] == "ok"
+        manifest = tmp_path / job["bundle"]
+        first = replay_bundle(str(manifest))
+        second = replay_bundle(str(manifest))
+        assert first["status"] == "replayed"
+        assert first == second  # bit-exact: same endpoint, same exit
+        log = EventLog.load(str(tmp_path / f"{job['bundle'][:-12]}.rrlog"))
+        # the killed worker never recorded an exit event...
+        assert log.events[-1].kind != EV_EXIT
+        # ...and the replay consumed every recorded event
+        assert first["endpoint"]["event_index"] == len(log.events)
+        assert first["endpoint"]["guest_insns"] > 0
+
+    def test_manifest_contents(self, progs, tmp_path):
+        job = self._terminal_kill(progs, tmp_path)
+        manifest = json.loads((tmp_path / job["bundle"]).read_text())
+        assert manifest["program"] == progs["loop"]
+        assert manifest["tool"] == "none"
+        assert manifest["classification"] == "worker-died"
+        assert manifest["log_sha256"]
+        assert "--dispatch-quantum=50" in manifest["flags"]
+
+    def test_corrupted_bundle_is_classified(self, progs, tmp_path):
+        job = self._terminal_kill(progs, tmp_path)
+        log_path = str(tmp_path / f"{job['bundle'][:-12]}.rrlog")
+        assert corrupt_bundle_log(log_path)
+        verdict = replay_bundle(str(tmp_path / job["bundle"]))
+        assert verdict["status"] == "corrupt"
+
+    def test_corrupt_in_transit_classified_by_supervisor(self, progs,
+                                                         tmp_path):
+        sup = FleetSupervisor(
+            make_jobs(progs["loop"], 1), workers=1, watchdog=WATCHDOG,
+            policy=RetryPolicy(max_retries=0, seed=0),
+            inject=_FixedInjector("kill", 4, corrupt=True),
+            bundle_dir=str(tmp_path),
+        )
+        job = sup.run()["jobs"][0]
+        assert job["terminal"] == "terminal-failure"
+        assert job["bundle_status"] == "corrupt"
+
+    def test_kill_before_first_flush_is_missing(self, progs, tmp_path):
+        job = self._terminal_kill(progs, tmp_path, tick=1)
+        assert job["terminal"] == "terminal-failure"
+        assert job["bundle_status"] == "missing"
+
+
+class TestMergeStats:
+    def test_numeric_leaves_sum(self):
+        total = {}
+        merge_stats(total, {"a": 1, "b": {"c": 2.5}, "s": "x", "f": True})
+        merge_stats(total, {"a": 2, "b": {"c": 0.5, "d": 1}, "s": "y"})
+        assert total == {"a": 3, "b": {"c": 3.0, "d": 1}}
+
+
+class TestFleetChaosMatrix:
+    """Acceptance: a seeded chaos matrix across >= 100 jobs — the
+    supervisor never crashes, every job lands in a classified terminal
+    state, and every intact terminal-failure bundle replays."""
+
+    N = 24 if QUICK else 100
+
+    def test_chaos_matrix(self, progs, tmp_path):
+        jobs = make_jobs(
+            progs["loop"], self.N, flags=["--codegen=pygen"]
+        )
+        sup = FleetSupervisor(
+            jobs,
+            workers=6,
+            watchdog=WATCHDOG,
+            policy=RetryPolicy(max_retries=1, backoff_base=0.005,
+                               jit_degrade_after=1, seed=5),
+            inject=FleetInjector(
+                "kill:0.15,hang:0.05,pygen-poison:0.15,corrupt:0.3,seed=5"
+            ),
+            bundle_dir=str(tmp_path),
+        )
+        report = sup.run()  # "never crashes": this returning is the claim
+        summary = report["summary"]
+        assert sum(summary[s] for s in TERMINAL_STATES) == self.N
+        assert summary["worker_deaths"] + summary["watchdog_hang"] > 0
+        for job in report["jobs"]:
+            assert job["terminal"] in TERMINAL_STATES
+            if job["terminal"] == "terminal-failure":
+                assert job["bundle_status"] in ("ok", "corrupt", "missing")
+                if job["bundle_status"] == "ok":
+                    verdict = replay_bundle(str(tmp_path / job["bundle"]))
+                    assert verdict["status"] == "replayed", job
+            else:
+                assert job["exit_code"] is not None
+                assert ExitCode.is_guest_caused(job["exit_code"])
+
+
+class TestFleetCLI:
+    def test_fleet_verb(self, progs, capsys):
+        rc = cli_main([
+            "fleet", "--tool=none", "--workers=2", "--repeat=3",
+            "--dispatch-quantum=50", progs["loop"],
+        ])
+        assert rc == 0
+        err = capsys.readouterr().err
+        assert "3 jobs on 2 workers" in err
+        assert "succeeded=3" in err
+
+    def test_fleet_stats_json(self, progs, tmp_path, capsys):
+        rc = cli_main([
+            "fleet", "--tool=none", "--workers=2", "--repeat=2",
+            "--dispatch-quantum=50", "--stats=json",
+            f"--fleet-dir={tmp_path}", progs["loop"],
+        ])
+        assert rc == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["summary"]["succeeded"] == 2
+        assert report["stats"]["dispatch"]["guest_insns"] > 0
+
+    def test_fleet_terminal_failure_exit_code(self, progs, tmp_path,
+                                              capsys):
+        rc = cli_main([
+            "fleet", "--tool=none", "--workers=1", "--fleet-seed=1",
+            "--fleet-inject=kill:1.0,seed=1", "--max-retries=0",
+            "--dispatch-quantum=50", "--heartbeat-timeout=1.0",
+            f"--fleet-dir={tmp_path}", progs["loop"],
+        ])
+        assert rc == 1
+        assert "terminal-failure=1" in capsys.readouterr().err
+
+    def test_fleet_bad_inject(self, capsys):
+        assert cli_main(["fleet", "--fleet-inject=frob:0.5", "x.s"]) == 2
+
+    def test_fleet_no_program(self, capsys):
+        assert cli_main(["fleet", "--workers=2"]) == 2
+
+    def test_fleet_help(self, capsys):
+        assert cli_main(["fleet", "--help"]) == 0
+        assert "--fleet-inject" in capsys.readouterr().out
