@@ -39,10 +39,12 @@ from .hostisa import (
     SETPCI,
     SETPCR,
     SIDEEXIT,
+    SIDEEXITR,
     SPILL,
     STG,
     STM,
     Slot,
+    TRACEMARK,
     UN,
     decode_insns,
 )
@@ -126,9 +128,12 @@ class HostCPU:
         #: Execution environment handed to dirty helpers.
         self.env = env
         # Register files are instance state: translations never nest.
-        self.ir: List[int] = [0] * 8
-        self.fr: List[float] = [0.0] * 8
-        self.vr: List[int] = [0] * 8
+        # Sized for the wide trace register file (hostisa.TRACE_REGFILE),
+        # whose names pygen runners may read through def-before-use
+        # pre-initialisation; block-tier code only ever touches 0-7.
+        self.ir: List[int] = [0] * 16
+        self.fr: List[float] = [0.0] * 16
+        self.vr: List[int] = [0] * 16
         #: Current thread's state, set by run().
         self.ts = None
         #: Total host instructions executed (a deterministic cost metric).
@@ -136,6 +141,10 @@ class HostCPU:
         #: Guest instructions (IMarks) completed by the most recent exit;
         #: set by the SIDEEXIT/RET closures, read back by run().
         self._exit_icnt = 0
+        #: Index of the member block the current trace-tier execution has
+        #: reached (set by TRACEMARK); the dispatcher reads it back to
+        #: account completed blocks exactly on trace faults/side exits.
+        self.trace_blocks = 0
         #: Content-addressed compiled-code cache (perf mode): host code
         #: bytes -> one shared block runner.  Identical blocks — common in
         #: loop-heavy workloads — compile exactly once.
@@ -356,8 +365,10 @@ class HostCPU:
                 # code on every platform).
                 saved_i = ir[:]
                 saved_f = fr[:]
+                # The frame area holds the 8 architected slots; the wider
+                # trace-tier registers are restored from the snapshot only.
                 cpu.ts.data[save_lo:save_hi] = b"".join(
-                    v.to_bytes(8, "little") for v in saved_i
+                    v.to_bytes(8, "little") for v in saved_i[:8]
                 )
                 args = [g() for g in getters]
                 ret = fn(cpu.env, *args) if dirty else fn(*args)
@@ -377,6 +388,27 @@ class HostCPU:
                     cpu.ts.pc = dst
                     cpu._exit_icnt = icnt
                     return jk
+                return None
+
+            return run
+        if isinstance(insn, SIDEEXITR):
+            fc = self._file(insn.cond.rc)
+            fs = self._file(insn.src.rc)
+            c, s, jk, icnt = insn.cond.n, insn.src.n, insn.jk, insn.icnt
+
+            def run():
+                if fc[c]:
+                    cpu.ts.pc = fs[s] & 0xFFFFFFFF
+                    cpu._exit_icnt = icnt
+                    return jk
+                return None
+
+            return run
+        if isinstance(insn, TRACEMARK):
+            idx = insn.index
+
+            def run():
+                cpu.trace_blocks = idx
                 return None
 
             return run
@@ -501,9 +533,9 @@ class HostCPU:
             self.pygen_cache_hits += 1
             return fn
         self.pygen_cache_misses += 1
-        from .pygen import build_pygen_runner
+        from .pygen import compile_pygen_code
 
-        fn = build_pygen_runner(self, decode_insns(code))
+        fn = compile_pygen_code(self, code)
         self._pygen_cache[code] = fn
         return fn
 
@@ -660,6 +692,18 @@ class HostCPU:
                 emit(set_pc_const(insn.dst), 1)
                 emit(f"_cpu.host_insns += {i + 1}", 1)
                 emit(f"return {exit_tuple}", 1)
+            elif isinstance(insn, SIDEEXITR):
+                exit_tuple = bind((insn.jk, insn.icnt), key=(insn.jk, insn.icnt))
+                emit(f"if {r(insn.cond)}:")
+                emit(
+                    f"_d[{PO}:{PO4}] = "
+                    f"({r(insn.src)} & 4294967295).to_bytes(4, 'little')",
+                    1,
+                )
+                emit(f"_cpu.host_insns += {i + 1}", 1)
+                emit(f"return {exit_tuple}", 1)
+            elif isinstance(insn, TRACEMARK):
+                emit(f"_cpu.trace_blocks = {insn.index}")
             elif isinstance(insn, RET):
                 exit_tuple = bind((insn.jk, insn.icnt), key=(insn.jk, insn.icnt))
                 emit(f"_cpu.host_insns += {i + 1}")

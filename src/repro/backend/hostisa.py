@@ -53,6 +53,17 @@ NUM_REGS = {RC.INT: 8, RC.FLT: 4, RC.VEC: 4}
 #: Scratch registers reserved for spill-code rewriting (CSEL can need
 #: three reloaded integer sources at once).
 SCRATCH = {RC.INT: (5, 6, 7), RC.FLT: (2, 3), RC.VEC: (2, 3)}
+#: Wider register file used when allocating superblock traces
+#: (core.traces): a stitched multi-block unit carries far more
+#: simultaneously-live values than one block, and the pygen back-end's
+#: "registers" are CPython locals, so the x86-sized file would force
+#: artificial spills.  The extra names sit above the scratch trio and
+#: still fit the 4-bit register field of the instruction encoding.
+TRACE_REGFILE = {
+    RC.INT: tuple(range(ALLOCATABLE[RC.INT])) + tuple(range(8, 16)),
+    RC.FLT: tuple(range(ALLOCATABLE[RC.FLT])) + tuple(range(4, 16)),
+    RC.VEC: tuple(range(ALLOCATABLE[RC.VEC])) + tuple(range(4, 16)),
+}
 
 _RC_PREFIX = {RC.INT: "h", RC.FLT: "hf", RC.VEC: "hv"}
 
@@ -336,6 +347,43 @@ class SIDEEXIT(HInsn):
 
 
 @dataclass(frozen=True)
+class SIDEEXITR(HInsn):
+    """If cond != 0: TS.pc = src (register); return to the dispatcher.
+
+    The register-target twin of SIDEEXIT, used by trace seams whose
+    recorded successor is a computed target (Ret / indirect Call /
+    computed Boring): when the run-time target differs from the recorded
+    one, the trace bails out to wherever the guest actually went.
+    """
+
+    cond: Reg
+    src: Reg
+    jk: str  # JumpKind value
+    icnt: int = 0
+
+    def regs_read(self):
+        return (self.cond, self.src)
+
+    def __str__(self) -> str:
+        return f"exit-if {self.cond} -> {self.src} {{{self.jk}}} [{self.icnt}]"
+
+
+@dataclass(frozen=True)
+class TRACEMARK(HInsn):
+    """Record that member block *index* of the containing trace started.
+
+    A trace-progress no-op: the executor stores *index* into the host
+    CPU's ``trace_blocks`` so the dispatcher can account completed blocks
+    exactly when a trace faults or side-exits early.
+    """
+
+    index: int
+
+    def __str__(self) -> str:
+        return f"tracemark {self.index}"
+
+
+@dataclass(frozen=True)
 class SETPCI(HInsn):
     """TS.pc = immediate."""
 
@@ -427,6 +475,8 @@ _OPC = {
     RET: 0x0F,
     SPILL: 0x10,
     RELOAD: 0x11,
+    SIDEEXITR: 0x12,
+    TRACEMARK: 0x13,
 }
 _CLS_BY_OPC = {v: k for k, v in _OPC.items()}
 
@@ -562,6 +612,13 @@ def encode_insns(insns: Sequence[HInsn]) -> bytes:
             body += insn.dst.to_bytes(4, "little")
             body.append(_jk_code(insn.jk))
             body += insn.icnt.to_bytes(2, "little")
+        elif isinstance(insn, SIDEEXITR):
+            _enc_reg(insn.cond, body)
+            _enc_reg(insn.src, body)
+            body.append(_jk_code(insn.jk))
+            body += insn.icnt.to_bytes(2, "little")
+        elif isinstance(insn, TRACEMARK):
+            body += insn.index.to_bytes(2, "little")
         elif isinstance(insn, SETPCI):
             body += insn.dst.to_bytes(4, "little")
         elif isinstance(insn, SETPCR):
@@ -696,6 +753,13 @@ def decode_insns(data: bytes) -> List[HInsn]:
             dst = u32()
             jk = _JK_BY_CODE[u8()]
             out.append(SIDEEXIT(c, dst, jk, u16()))
+        elif cls is SIDEEXITR:
+            c = reg()
+            src = reg()
+            jk = _JK_BY_CODE[u8()]
+            out.append(SIDEEXITR(c, src, jk, u16()))
+        elif cls is TRACEMARK:
+            out.append(TRACEMARK(u16()))
         elif cls is SETPCI:
             out.append(SETPCI(u32()))
         elif cls is SETPCR:

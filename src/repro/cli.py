@@ -47,12 +47,18 @@ core options:
   --chaining=yes|no            translation chaining (default: no)
   --perf=yes|no                perf execution mode: compiled-code
                                memoization, full chaining, megacache
-  --codegen=closures|pygen|auto
+  --codegen=closures|pygen|auto|traces
                                execution tier: per-insn closures (default),
-                               specialized Python per block (pygen), or
-                               closures promoted to pygen when hot (auto)
+                               specialized Python per block (pygen),
+                               closures promoted to pygen when hot (auto),
+                               or pygen plus superblock traces compiled
+                               over hot block chains (traces)
   --jit-threshold=<n>          auto tier: executions before a block is
                                promoted to pygen (default: 10)
+  --trace-threshold=<n>        traces tier: executions before a block's
+                               successor chain is recorded (default: 50)
+  --max-trace-blocks=<n>       traces tier: member blocks per recorded
+                               trace (default: 8)
   --stats=none|json            print run statistics to stderr (default: none)
   --stats-out=<file>           write the stats JSON to a file instead
                                ({{job}}/{{attempt}} expand under fleet)

@@ -39,7 +39,7 @@ from typing import Callable, Dict, Optional
 TIERS = ("closures", "perf", "pygen", "interp")
 
 #: Valid --codegen modes.
-CODEGEN_MODES = ("closures", "pygen", "auto")
+CODEGEN_MODES = ("closures", "pygen", "auto", "traces")
 
 
 def _tier_counter() -> Dict[str, float]:
@@ -87,9 +87,13 @@ class CodegenTiers:
         self.hostcpu = hostcpu
         self.mode = options.codegen
         self.threshold = max(1, options.jit_threshold)
+        self.trace_threshold = max(1, options.trace_threshold)
         self.injector = injector
         self.collect = collect_exec_times
         self.on_demote = on_demote
+        #: Trace manager (set by the scheduler under --codegen=traces):
+        #: blocks crossing --trace-threshold request a chain recording.
+        self.traces = None
         self.stats = CodegenStats()
 
     # -- transtab insert hook (lazy modes) ---------------------------------------
@@ -109,9 +113,41 @@ class CodegenTiers:
                 self._attach_closures(t, counting=False)
         elif self.mode == "auto":
             self._attach_closures(t, counting=True)
+        elif self.mode == "traces":
+            if not self._try_pygen(t):
+                self._attach_closures(t, counting=False)
+            elif self.traces is not None:
+                self._wrap_trace_counting(t)
         else:  # closures: the perf loop's lazy fallback
             self.attach_perf(t)
         return t.compiled_fn
+
+    def _wrap_trace_counting(self, t) -> None:
+        """Count the pygen runner's executions; at --trace-threshold ask
+        the trace manager to record the chain starting at this block.
+
+        The wrapper exists only to find the threshold crossing: once it
+        fires it puts the raw runner back, so steady-state block
+        execution pays no counting frame.  The trace manager re-wraps a
+        severed trace's surviving head (via ``rewrap``) to let it prove
+        itself hot again.
+        """
+        inner = t.compiled_fn
+        threshold = self.trace_threshold
+        mgr = self.traces
+
+        def fn(ts, _inner=inner, _t=t):
+            out = _inner(ts)
+            n = _t.exec_count + 1
+            _t.exec_count = n
+            if n >= threshold:
+                _t.compiled_fn = _inner
+                # Fire once: a failed trace build is not retried.
+                if not _t.trace_failed:
+                    mgr.request(_t)
+            return out
+
+        t.compiled_fn = fn
 
     def attach_perf(self, t):
         """Compile *t* through the PR-1 content-addressed runner cache

@@ -95,6 +95,12 @@ class Dispatcher:
         #: translation whose compiled_fn is None on its first execution,
         #: compiles it for its starting tier and returns the runner.
         self.attach_runner: Optional[Callable] = None
+        #: Trace tier (set by the scheduler under --codegen=traces):
+        #: a TraceManager whose ``on_block`` hook records hot successor
+        #: chains.  Compiled traces hang off their head Translation's
+        #: ``trace`` attribute, so the per-block probe is free for
+        #: untraced blocks.
+        self.traces = None
         self._tiered = options.codegen != "closures"
         size = options.dispatch_cache_size
         self._mask = size - 1
@@ -166,6 +172,7 @@ class Dispatcher:
         sig_poll = self.signals_pending
         next_poll = self._poll
         stop = self.stop_at_insns
+        tm = self.traces
         # Per-block counters accumulate in locals and are flushed to the
         # instance before every exit and signal poll (timer delivery reads
         # ``guest_insns`` from inside the poll callback).
@@ -215,6 +222,72 @@ class Dispatcher:
                             return ("translate", pc)
                         cache[idx] = t
                         stats.slow_hits += 1
+            # Trace tier: a compiled superblock headed at this block runs
+            # whole member chains in one call; the probe is one attribute
+            # check on the translation already in hand.  Entry is
+            # conservative — near a quantum, poll or insn-stop boundary
+            # the block tier runs instead, so trace runs never cross an
+            # accounting boundary the block tier would have observed.
+            if t.trace is not None:
+                tr = t.trace
+                if (
+                    not tr.dead
+                    and n + tr.n_blocks <= quantum
+                    and (sig_poll is None or n + tr.n_blocks <= next_poll)
+                    and (stop is None
+                         or self.guest_insns + gi + tr.total_insns <= stop)
+                ):
+                    if tm.active:
+                        tm.flush_recording()
+                    fn = tr.compiled_fn
+                    hostcpu.trace_blocks = 0
+                    if precise:
+                        snap = bytes(arch)
+                        try:
+                            jk, icnt = fn(ts)
+                        except (GuestFault, ZeroDivisionError) as exc:
+                            stats.blocks_executed += (
+                                n + hostcpu.trace_blocks + 1 - flushed)
+                            self.guest_insns += gi
+                            si, ricnt = self.fault_recover(ts, snap, tr, exc)
+                            self.guest_insns += ricnt
+                            return ("fault", si)
+                    else:
+                        jk, icnt = fn(ts)
+                    nb = hostcpu.trace_blocks + 1
+                    n += nb
+                    gi += icnt
+                    tm.runs += 1
+                    tm.blocks_retired += nb
+                    tm.insns_retired += icnt
+                    tr.runs += 1
+                    tr.blocks += nb
+                    if icnt != tr.total_insns:
+                        tm.note_side_exit(tr)
+                    if jk != _BORING:
+                        if jk == _CALL:
+                            cs = ts.callstack
+                            cs.append((hostcpu.mem.load32(ts.sp), ts.pc))
+                            if len(cs) > _CALLSTACK_MAX:
+                                del cs[: _CALLSTACK_MAX // 2]
+                        elif jk == _RET:
+                            cs = ts.callstack
+                            target = u32[_PC_IDX] if u32 is not None else ts.pc
+                            if cs:
+                                if cs[-1][0] == target:
+                                    cs.pop()
+                                else:
+                                    for depth in range(2, min(9, len(cs) + 1)):
+                                        if cs[-depth][0] == target:
+                                            del cs[-depth:]
+                                            break
+                        else:
+                            stats.blocks_executed += n - flushed
+                            self.guest_insns += gi
+                            return ("jumpkind", jk)
+                    prev = None
+                    t = None
+                    continue
             if t.smc_checked and smc_recheck is not None and not smc_recheck(t):
                 stats.smc_flushes += 1
                 stats.blocks_executed += n - flushed
@@ -245,6 +318,8 @@ class Dispatcher:
                 jk, icnt = hostcpu.run(t.compiled, ts)
             n += 1
             gi += icnt
+            if tm is not None and tm.active:
+                tm.on_block(t, jk)
             if jk != _BORING:
                 if jk == _CALL:
                     # Maintain the shadow call stack used for stack traces:
@@ -318,6 +393,7 @@ class Dispatcher:
         sig_poll = self.signals_pending
         next_poll = self._poll
         stop = self.stop_at_insns
+        tm = self.traces
         # Per-block counters accumulate in locals and are flushed to the
         # instance before every exit and signal poll (timer delivery reads
         # ``guest_insns`` from inside the poll callback).
@@ -391,6 +467,67 @@ class Dispatcher:
                     if not src.dead and getattr(src, slot) is None:
                         transtab.chain(src, slot, t)
                 pend = None
+            # Trace tier (see the perf loop): one attribute probe on the
+            # resolved block; superblocks shadow their head translation.
+            if t.trace is not None:
+                tr = t.trace
+                if (
+                    not tr.dead
+                    and n + tr.n_blocks <= quantum
+                    and (sig_poll is None or n + tr.n_blocks <= next_poll)
+                    and (stop is None
+                         or self.guest_insns + gi + tr.total_insns <= stop)
+                ):
+                    if tm.active:
+                        tm.flush_recording()
+                    fn = tr.compiled_fn
+                    hostcpu.trace_blocks = 0
+                    if precise:
+                        snap = bytes(arch)
+                        try:
+                            jk, icnt = fn(ts)
+                        except (GuestFault, ZeroDivisionError) as exc:
+                            stats.blocks_executed += (
+                                n + hostcpu.trace_blocks + 1 - flushed)
+                            self.guest_insns += gi
+                            si, ricnt = self.fault_recover(ts, snap, tr, exc)
+                            self.guest_insns += ricnt
+                            return ("fault", si)
+                    else:
+                        jk, icnt = fn(ts)
+                    nb = hostcpu.trace_blocks + 1
+                    n += nb
+                    gi += icnt
+                    tm.runs += 1
+                    tm.blocks_retired += nb
+                    tm.insns_retired += icnt
+                    tr.runs += 1
+                    tr.blocks += nb
+                    if icnt != tr.total_insns:
+                        tm.note_side_exit(tr)
+                    if jk != _BORING:
+                        if jk == _CALL:
+                            cs = ts.callstack
+                            cs.append((hostcpu.mem.load32(ts.sp), ts.pc))
+                            if len(cs) > _CALLSTACK_MAX:
+                                del cs[: _CALLSTACK_MAX // 2]
+                        elif jk == _RET:
+                            cs = ts.callstack
+                            target = u32[_PC_IDX] if u32 is not None else ts.pc
+                            if cs:
+                                if cs[-1][0] == target:
+                                    cs.pop()
+                                else:
+                                    for depth in range(2, min(9, len(cs) + 1)):
+                                        if cs[-depth][0] == target:
+                                            del cs[-depth:]
+                                            break
+                        else:
+                            stats.blocks_executed += n - flushed
+                            self.guest_insns += gi
+                            return ("jumpkind", jk)
+                    t = None
+                    continue
             if t.smc_checked and smc_recheck is not None and not smc_recheck(t):
                 stats.smc_flushes += 1
                 stats.blocks_executed += n - flushed
@@ -420,6 +557,8 @@ class Dispatcher:
                 jk, icnt = fn(ts)
             n += 1
             gi += icnt
+            if tm is not None and tm.active:
+                tm.on_block(t, jk)
             slot = "chain_next"
             if jk != _BORING:
                 if jk == _CALL:

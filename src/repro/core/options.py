@@ -20,7 +20,7 @@ def _default_codegen() -> str:
     """Default --codegen tier, overridable via REPRO_CODEGEN so CI can
     force the whole test suite through a non-default tier."""
     v = os.environ.get("REPRO_CODEGEN", "closures")
-    return v if v in ("closures", "pygen", "auto") else "closures"
+    return v if v in ("closures", "pygen", "auto", "traces") else "closures"
 
 
 @dataclass
@@ -58,11 +58,19 @@ class Options:
     #: Codegen tier selection (see repro.core.codegen): "closures" keeps
     #: the historical engines; "pygen" compiles every block to one
     #: specialized CPython function on first execution; "auto" starts in
-    #: closures and promotes blocks crossing --jit-threshold to pygen.
+    #: closures and promotes blocks crossing --jit-threshold to pygen;
+    #: "traces" runs blocks in the pygen tier and additionally records
+    #: hot chained successor sequences into superblock traces
+    #: (see repro.core.traces).
     codegen: str = field(default_factory=_default_codegen)
     #: auto tier promotion threshold: closure-tier executions before a
     #: block is recompiled into the pygen tier.
     jit_threshold: int = 10
+    #: traces tier recording threshold: executions of a block before the
+    #: dispatcher records the successor chain starting there as a trace.
+    trace_threshold: int = 50
+    #: Maximum member blocks stitched into one trace.
+    max_trace_blocks: int = 8
     #: Megacache entries (perf mode): a 2-way set-associative second cache
     #: tier behind the direct-mapped one (power of two).
     megacache_size: int = 32768
@@ -160,9 +168,9 @@ class Options:
                 raise BadOption("--stats-out needs a file path")
             self.stats_out = value
         elif name == "codegen":
-            if value not in ("closures", "pygen", "auto"):
+            if value not in ("closures", "pygen", "auto", "traces"):
                 raise BadOption(
-                    f"--codegen must be closures|pygen|auto, got {value!r}"
+                    f"--codegen must be closures|pygen|auto|traces, got {value!r}"
                 )
             self.codegen = value
         elif name == "jit-threshold":
@@ -170,6 +178,16 @@ class Options:
             if n < 1:
                 raise BadOption("--jit-threshold must be >= 1")
             self.jit_threshold = n
+        elif name == "trace-threshold":
+            n = int(value, 0)
+            if n < 1:
+                raise BadOption("--trace-threshold must be >= 1")
+            self.trace_threshold = n
+        elif name == "max-trace-blocks":
+            n = int(value, 0)
+            if n < 2:
+                raise BadOption("--max-trace-blocks must be >= 2")
+            self.max_trace_blocks = n
         elif name == "dispatch-quantum":
             self.dispatch_quantum = int(value, 0)
         elif name == "thread-timeslice":

@@ -356,6 +356,36 @@ class Scheduler:
         self.dispatcher.fault_recover = self._recover_fault
         self.dispatcher.signals_pending = self._signals_pending
         self.dispatcher.attach_runner = self.codegen.attach
+        #: Trace tier (--codegen=traces): the manager records hot chains
+        #: and stitches them into compiled superblocks; traces live off
+        #: the translation table, severed through its on_kill hook.
+        if options.codegen == "traces":
+            from .traces import (
+                TraceManager,
+                VG_TRACE_CALL,
+                VG_TRACE_RET,
+                vg_trace_call,
+                vg_trace_ret,
+            )
+
+            self.traces = TraceManager(
+                self.translator,
+                self.hostcpu,
+                options,
+                resolve=self.redirector.resolve,
+                on_fail=self._on_trace_failed,
+            )
+            self.codegen.traces = self.traces
+            # Severed heads get their counting wrapper back so they can
+            # prove themselves hot again over retranslated neighbours.
+            self.traces.rewrap = self.codegen._wrap_trace_counting
+            self.dispatcher.traces = self.traces
+            self.transtab.on_kill = self.traces.on_translation_dead
+            if VG_TRACE_CALL not in helpers:
+                helpers.register_dirty(VG_TRACE_CALL, vg_trace_call)
+                helpers.register_dirty(VG_TRACE_RET, vg_trace_ret)
+        else:
+            self.traces = None
         self.wrappers = SyscallWrappers(
             events, kernel, self, on_code_unmapped=self._on_code_unmapped,
             injector=self.injector, rr=self.rr,
@@ -491,6 +521,14 @@ class Scheduler:
         self.core.log(
             f"pygen compile failure for block at {t.guest_addr:#x} "
             f"({exc!r}); demoting to closure tier"
+        )
+
+    def _on_trace_failed(self, t, exc) -> None:
+        """A trace build headed at *t* failed: its members keep running
+        in the block tier and the head is never re-recorded."""
+        self.core.log(
+            f"trace build failure for chain headed at {t.guest_addr:#x} "
+            f"({exc!r}); chain stays in the block tier"
         )
 
     def _attach_interp_runner(self, t) -> None:

@@ -320,6 +320,11 @@ def _effective_tier(spec: JobSpec) -> str:
         return "closures"
 
 
+#: One-step tier degradation ladder applied on repeated JIT failures
+#: (closures is the floor and never degrades further).
+_DEGRADE_NEXT = {"traces": "pygen", "pygen": "closures", "auto": "closures"}
+
+
 def _worker_run(spec, attempt, directive, bundle_path, flush_every,
                 images, hb_time, hb_insns):
     try:
@@ -772,14 +777,22 @@ class FleetSupervisor:
         state.attempts.append(att)
         if jit:
             state.jit_failures += 1
-            if (state.jit_failures >= self.policy.jit_degrade_after
-                    and not state.degraded):
-                state.degraded = True
-                state.spec.flags = [
-                    f for f in state.spec.flags
-                    if not f.startswith("--codegen")
-                ] + ["--codegen=closures"]
-                att["degraded"] = True
+            if state.jit_failures >= self.policy.jit_degrade_after:
+                # Degrade ONE tier (traces -> pygen -> closures) rather
+                # than straight to closures: a trace-compile problem is
+                # usually fixed by dropping just the trace tier, keeping
+                # the per-block JIT's speed.  Repeated failures walk the
+                # ladder down; closures is the floor.
+                tier = _effective_tier(state.spec)
+                nxt = _DEGRADE_NEXT.get(tier)
+                if nxt is not None:
+                    state.degraded = True
+                    state.jit_failures = 0
+                    state.spec.flags = [
+                        f for f in state.spec.flags
+                        if not f.startswith("--codegen")
+                    ] + [f"--codegen={nxt}"]
+                    att["degraded"] = nxt
             self._discard_log(log_path)
             pending.append(state)  # immediate retry, tier now safe(r)
             return 0

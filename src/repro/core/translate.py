@@ -107,8 +107,17 @@ class Translation:
     #: True if a pygen compile failed for this block (real or injected):
     #: it stays demoted in the closure tier, never retried.
     pygen_failed: bool = False
-    #: The instrumented flat IR, kept only for quarantined translations
-    #: (the interpreter runner executes it directly).
+    #: True if building a trace headed at this block failed: the block
+    #: stays in the pygen tier and is never re-recorded (core.traces).
+    trace_failed: bool = False
+    #: The live trace headed at this block, if any: the dispatcher's
+    #: superblock probe is one attribute load on the block it already
+    #: resolved, so the non-trace fast path pays no map lookup
+    #: (core.traces maintains this on build / sever / prune).
+    trace: Optional[object] = None
+    #: The instrumented flat IR, kept for quarantined translations (the
+    #: interpreter runner executes it directly) and under traces mode
+    #: (the stitcher stitches member IR without re-translating).
     irsb: Optional[IRSB] = None
 
     @property
@@ -280,7 +289,10 @@ class Translator:
         tick("assemble", t0)
 
         smc_hash = None
-        if opts.smc_check != "none":
+        if opts.smc_check != "none" or opts.codegen == "traces":
+            # Traces mode always hashes: a trace build re-verifies every
+            # member against its translation-time bytes, even when SMC
+            # checking itself is off.
             smc_hash = hash_guest_ranges(self._fetch, ranges)
 
         self.translations_made += 1
@@ -290,7 +302,38 @@ class Translator:
             ranges=ranges,
             smc_hash=smc_hash,
             stats=stats,
+            # Traces mode keeps the flat instrumented IR so the stitcher
+            # reuses it instead of re-running Phases 1-4 per member.
+            irsb=sb if opts.codegen == "traces" else None,
         )
+
+    def front_ir(self, addr: int) -> Tuple[IRSB, Tuple[Tuple[int, int], ...], int]:
+        """Run the front half of the pipeline (Phases 1-4) for *addr*.
+
+        Returns ``(flat instrumented IR, guest ranges, guest insns)``.
+        Used by the trace stitcher (core.traces) to regenerate member
+        blocks' IR; deliberately does NOT bump ``translations_made`` —
+        traces live outside the translation table and must not perturb
+        the record/replay translation accounting.
+        """
+        opts = self.options
+        sb = self.disasm.disasm_block(addr)
+        guest_insns = sum(1 for s in sb.stmts if isinstance(s, IMark))
+        ranges = _imark_ranges(sb)
+        if opts.opt1:
+            sb = optimise1(sb, spec_helper=vx32_spec_helper, unroll=opts.unroll)
+        else:
+            from ..opt.flatten import flatten
+
+            sb = flatten(sb)
+        sb = self.tool.instrument(sb)
+        if self.track_stack_events:
+            sb = add_sp_tracking(sb)
+        if opts.opt2:
+            sb = optimise2(sb, spec_helper=vx32_spec_helper)
+        if opts.sanity_level >= 1:
+            validate(sb, flat=True)
+        return sb, ranges, guest_insns
 
 
     def translate_interp(self, addr: int) -> Translation:

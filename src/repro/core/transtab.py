@@ -123,6 +123,10 @@ class TranslationTable:
         #: Record/replay: called with the number of entries killed at the
         #: end of every eviction round (capacity-pressure or forced).
         self.on_evict: Optional[Callable[[int], None]] = None
+        #: Called with every translation as it dies (eviction, discard,
+        #: insert-replace) — the trace tier severs superblocks containing
+        #: the dead member (core.traces).
+        self.on_kill: Optional[Callable[[Translation], None]] = None
 
     def set_compiler(self, compiler: Optional[Callable[[Translation], None]]):
         """Install an eager insert-time compiler (perf mode)."""
@@ -136,6 +140,8 @@ class TranslationTable:
         """Mark *t* dead and sever every chain link touching it."""
         t.dead = True
         self.chains.sever(t)
+        if self.on_kill is not None:
+            self.on_kill(t)
 
     def __len__(self) -> int:
         return self._used

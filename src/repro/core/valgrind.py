@@ -168,6 +168,8 @@ class Valgrind:
             "smc": {"checks": sched.smc.checks, "misses": sched.smc.misses},
             "translations_made": sched.translator.translations_made,
             "codegen": sched.codegen.stats_dict(sched.transtab),
+            "traces": (sched.traces.stats_dict()
+                       if sched.traces is not None else None),
             "robustness": {
                 "quarantined_blocks": sched.quarantined_blocks,
                 "faults_recovered": sched.faults_recovered,

@@ -60,6 +60,20 @@ class IMark(Stmt):
 
 
 @dataclass(frozen=True)
+class TraceMark(Stmt):
+    """Marks the start of member block *index* inside a stitched trace.
+
+    Compiles to a TRACEMARK host instruction that records progress for
+    exact block accounting when a trace faults or side-exits; a no-op for
+    guest semantics.  Only trace-stitched IR (core/traces.py) contains
+    these.
+    """
+
+    index: int
+    addr: int = 0
+
+
+@dataclass(frozen=True)
 class Put(Stmt):
     """Write to the guest state (ThreadState) at a byte offset."""
 
@@ -127,8 +141,17 @@ class Dirty(Stmt):
 
 @dataclass(frozen=True)
 class Exit(Stmt):
-    """Conditional side exit: if *guard* holds, jump to constant *dst*."""
+    """Conditional side exit: if *guard* holds, jump to constant *dst*.
+
+    Trace-stitched superblocks (core/traces.py) additionally use
+    *dst_expr*: when set, the exit target is the expression's run-time
+    value rather than the constant ``dst`` — this is how a computed seam
+    (Ret / indirect Call) bails out of a trace when the actual target
+    differs from the recorded successor.  Single-block front-end IR never
+    sets it.
+    """
 
     guard: Expr
     dst: int
     jumpkind: JumpKind = JumpKind.Boring
+    dst_expr: Optional[Expr] = None

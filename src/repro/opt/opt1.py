@@ -23,7 +23,10 @@ from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 from ..ir.block import IRSB
 from ..ir.expr import Binop, CCall, Const, Expr, Get, ITE, Load, RdTmp, Unop, c32
 from ..ir.ops import get_op
-from ..ir.stmt import Dirty, Exit, IMark, JumpKind, MemFx, NoOp, Put, Stmt, Store, WrTmp
+from ..ir.stmt import (
+    Dirty, Exit, IMark, JumpKind, MemFx, NoOp, Put, Stmt, Store, TraceMark,
+    WrTmp,
+)
 from ..ir.types import Ty
 from .flatten import flatten
 
@@ -179,7 +182,7 @@ def forward_pass(sb: IRSB, spec_helper: Optional[SpecHelper] = None) -> IRSB:
         return RdTmp(t)
 
     for s in sb.stmts:
-        if isinstance(s, (NoOp, IMark)):
+        if isinstance(s, (NoOp, IMark, TraceMark)):
             out.add(s)
             continue
         if isinstance(s, WrTmp):
@@ -213,14 +216,15 @@ def forward_pass(sb: IRSB, spec_helper: Optional[SpecHelper] = None) -> IRSB:
             continue
         if isinstance(s, Exit):
             guard = subst(s.guard)
+            dst_expr = subst(s.dst_expr) if s.dst_expr is not None else None
             if isinstance(guard, Const):
                 if guard.value == 0:
                     continue  # never taken
                 # Always taken: the rest of the block is unreachable.
-                out.next = c32(s.dst)
+                out.next = dst_expr if dst_expr is not None else c32(s.dst)
                 out.jumpkind = s.jumpkind
                 return out
-            out.add(Exit(guard, s.dst, s.jumpkind))
+            out.add(Exit(guard, s.dst, s.jumpkind, dst_expr=dst_expr))
             continue
         if isinstance(s, Dirty):
             guard = subst(s.guard) if s.guard is not None else None
@@ -328,7 +332,7 @@ def redundant_put_elim(sb: IRSB) -> IRSB:
         pass
     for i in range(len(new_stmts) - 1, -1, -1):
         s = new_stmts[i]
-        if isinstance(s, (NoOp, IMark)):
+        if isinstance(s, (NoOp, IMark, TraceMark)):
             continue
         if isinstance(s, Put):
             data = s.data
@@ -388,6 +392,8 @@ def dead_code(sb: IRSB) -> IRSB:
             _expr_tmps(s.data, needed)
         elif isinstance(s, Exit):
             _expr_tmps(s.guard, needed)
+            if s.dst_expr is not None:
+                _expr_tmps(s.dst_expr, needed)
         elif isinstance(s, Dirty):
             if s.guard is not None:
                 _expr_tmps(s.guard, needed)
@@ -457,7 +463,11 @@ def unroll_self_loop(sb: IRSB, *, max_stmts: int = 40) -> IRSB:
         elif isinstance(s, Store):
             out.add(Store(_rename_expr(s.addr, delta), _rename_expr(s.data, delta)))
         elif isinstance(s, Exit):
-            out.add(Exit(_rename_expr(s.guard, delta), s.dst, s.jumpkind))
+            out.add(Exit(
+                _rename_expr(s.guard, delta), s.dst, s.jumpkind,
+                dst_expr=(_rename_expr(s.dst_expr, delta)
+                          if s.dst_expr is not None else None),
+            ))
         elif isinstance(s, Dirty):
             out.add(
                 Dirty(

@@ -36,6 +36,10 @@ CODEGEN_ENGINES = {
     "pygen": {"perf": True, "codegen": "pygen"},
     "pygen-noperf": {"codegen": "pygen"},
     "auto": {"perf": True, "codegen": "auto", "jit_threshold": 2},
+    # trace_threshold 2: handler-adjacent chains really get recorded, so
+    # faults can strike *inside* a stitched superblock.
+    "traces": {"codegen": "traces", "trace_threshold": 2},
+    "traces-perf": {"perf": True, "codegen": "traces", "trace_threshold": 2},
 }
 
 

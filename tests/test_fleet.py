@@ -384,6 +384,24 @@ class TestTierDegradation:
             assert job["exit_code"] == 7
             assert [a["class"] for a in job["attempts"]] == ["jit", "ok"]
 
+    def test_traces_degrade_one_tier_at_a_time(self, progs, tmp_path):
+        # A trace-tier job with a poisoned pygen backend walks down the
+        # ladder one rung per degradation: traces -> pygen -> closures.
+        sup = FleetSupervisor(
+            make_jobs(progs["loop"], 1, flags=["--codegen=traces"]),
+            workers=1, watchdog=WATCHDOG,
+            policy=RetryPolicy(max_retries=0, jit_degrade_after=1, seed=3),
+            inject=_FixedInjector("pygen-poison", 3, every_attempt=True),
+            bundle_dir=str(tmp_path),
+        )
+        report = sup.run()
+        job = report["jobs"][0]
+        assert job["terminal"] == "degraded-tier-succeeded"
+        assert job["exit_code"] == 7
+        assert [a["class"] for a in job["attempts"]] == ["jit", "jit", "ok"]
+        assert [a.get("degraded") for a in job["attempts"]] == \
+            ["pygen", "closures", None]
+
     def test_jit_failures_do_not_burn_infra_retries(self, progs, tmp_path):
         sup = FleetSupervisor(
             make_jobs(progs["loop"], 1, flags=["--codegen=pygen"]),

@@ -111,6 +111,7 @@ def test_random_program_differential_codegen_tiers(source, tool):
     for label, opts in (
         ("pygen", perf_options(codegen="pygen")),
         ("auto", perf_options(codegen="auto", jit_threshold=2)),
+        ("traces", perf_options(codegen="traces", trace_threshold=2)),
     ):
         res = run_tool(tool, img, options=opts)
         _assert_matches_ref(res, ref_ts, ref_data, data_seg,
@@ -182,12 +183,13 @@ fn3:    mov  r0, r6
 """
 
 
-@pytest.mark.parametrize("codegen", ["closures", "pygen", "auto"])
+@pytest.mark.parametrize("codegen", ["closures", "pygen", "auto", "traces"])
 def test_fifo_eviction_with_live_chains_matches_native(codegen):
     nat = native(CALL_HEAVY_SRC)
     res = vg(
         CALL_HEAVY_SRC,
         options=perf_options(codegen=codegen, jit_threshold=3,
+                             trace_threshold=3,
                              transtab_entries=12, dispatch_cache_size=16,
                              megacache_size=8),
     )
@@ -216,7 +218,7 @@ def test_call_ret_chains_are_used():
     assert res.core.scheduler.dispatcher.stats.chained > 0
 
 
-@pytest.mark.parametrize("codegen", ["closures", "pygen", "auto"])
+@pytest.mark.parametrize("codegen", ["closures", "pygen", "auto", "traces"])
 def test_smc_discard_mid_run_under_perf(codegen):
     """Rewriting already-translated code must discard the old translation,
     sever its chains, and never execute the stale compiled runner —

@@ -32,6 +32,7 @@ REPLAY_MODES = {
     "pygen": {"codegen": "pygen"},
     "auto": {"codegen": "auto", "jit_threshold": 2},
     "perf": {"codegen": "closures", "perf": True},
+    "traces": {"codegen": "traces", "trace_threshold": 2},
 }
 
 MAX_BLOCKS = 200_000

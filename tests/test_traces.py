@@ -1,0 +1,365 @@
+"""The superblock trace tier (``--codegen=traces``).
+
+The differential suites (test_perf_mode, test_fault_precision,
+test_replay_differential) prove the trace tier computes bit-identically
+to the closure engine; this file tests the trace machinery itself:
+recording and stitching, cross-block optimisation wins, side exits,
+invalidation (SMC discard, transtab eviction, munmap), the stale-code
+consistency contract, and the ``--stats=json`` ``traces`` section.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Options
+from repro.core.codegen import CODEGEN_MODES
+from repro.core.options import BadOption
+
+from .helpers import asm_image, native, vg
+
+#: A nested hot loop: the inner chain records and stitches, the outer
+#: back edge leaves the trace through a side exit every iteration.
+NESTED_LOOP_SRC = """
+        .text
+main:   movi r0, 0
+        movi r1, 0
+        movi fp, 200
+outer:  movi r2, 3
+inner:  add  r0, r2
+        dec  r2
+        jnz  inner
+        inc  r1
+        dec  fp
+        jnz  outer
+        push r0
+        call putint
+        addi sp, 4
+        movi r0, 0
+        push r0
+        call exit
+"""
+
+#: Many distinct call targets — enough blocks to overflow a tiny
+#: translation table while traces are live.
+CALL_HEAVY_SRC = """
+        .text
+main:   movi r6, 0
+        movi fp, 60
+loop:   call fn1
+        add  r6, r0
+        call fn2
+        add  r6, r0
+        call fn3
+        add  r6, r0
+        dec  fp
+        jnz  loop
+        push r6
+        call putint
+        addi sp, 4
+        movi r0, 0
+        push r0
+        call exit
+fn1:    movi r0, 1
+        ret
+fn2:    movi r0, 2
+        ret
+fn3:    movi r0, 3
+        ret
+"""
+
+
+def run_traces(src_or_img, **kw):
+    kw.setdefault("codegen", "traces")
+    kw.setdefault("trace_threshold", 5)
+    kw.setdefault("stats_format", "json")
+    return vg(src_or_img, "none", **kw)
+
+
+class TestOptions:
+    def test_traces_is_a_codegen_mode(self):
+        assert "traces" in CODEGEN_MODES
+        o = Options()
+        assert o.set("--codegen=traces")
+        assert o.codegen == "traces"
+
+    def test_trace_threshold_flag(self):
+        o = Options()
+        assert o.set("--trace-threshold=3")
+        assert o.trace_threshold == 3
+        with pytest.raises(BadOption):
+            o.set("--trace-threshold=0")
+
+    def test_max_trace_blocks_flag(self):
+        o = Options()
+        assert o.set("--max-trace-blocks=4")
+        assert o.max_trace_blocks == 4
+        with pytest.raises(BadOption):
+            o.set("--max-trace-blocks=1")
+
+
+class TestRecordingAndStitching:
+    def test_hot_chain_becomes_a_trace(self):
+        img = asm_image(NESTED_LOOP_SRC)
+        nat = native(img)
+        res = run_traces(img)
+        assert res.exit_code == nat.exit_code
+        assert res.stdout == nat.stdout
+        tr = res.stats()["traces"]
+        assert tr["traces_built"] >= 1
+        assert tr["runs"] > 0
+        assert tr["blocks_retired"] > tr["runs"], \
+            "a trace run must retire more than one member block"
+        assert tr["insns_retired"] > 0
+        mgr = res.core.scheduler.traces
+        assert mgr is not None
+        assert all(t.n_blocks >= 2 for t in mgr.traces.values())
+
+    def test_side_exits_demote_cleanly(self):
+        # The inner loop's exit edge fires every outer iteration: those
+        # runs leave mid-trace, retire an exact partial insn count, and
+        # execution continues in the block tier with no state damage.
+        res = run_traces(NESTED_LOOP_SRC)
+        tr = res.stats()["traces"]
+        assert tr["side_exits"] > 0
+        assert tr["side_exits"] < tr["runs"] + 1
+
+    def test_accounting_identical_to_block_tiers(self):
+        img = asm_image(NESTED_LOOP_SRC)
+        rows = {}
+        for mode in ("closures", "pygen", "traces"):
+            r = vg(img, "none", codegen=mode, trace_threshold=5,
+                   stats_format="json")
+            s = r.stats()
+            rows[mode] = (
+                s["dispatch"]["blocks_executed"],
+                s["dispatch"]["guest_insns"],
+                s["translations_made"],
+                r.stdout,
+                r.exit_code,
+            )
+        assert rows["closures"] == rows["pygen"] == rows["traces"], rows
+
+    def test_traces_never_enter_the_translation_table(self):
+        res = run_traces(NESTED_LOOP_SRC)
+        sched = res.core.scheduler
+        addrs = {t.guest_addr for t in sched.transtab.all_translations()}
+        for head, trace in sched.traces.traces.items():
+            assert sched.transtab.lookup(head) is not trace
+        assert sched.traces.traces, "no trace survived to end of run"
+        # Heads are ordinary block translations; the trace shadows them.
+        assert set(sched.traces.traces) <= addrs
+
+    def test_max_trace_blocks_bounds_members(self):
+        res = run_traces(CALL_HEAVY_SRC, trace_threshold=3,
+                         max_trace_blocks=3)
+        mgr = res.core.scheduler.traces
+        assert mgr.traces_built >= 1
+        assert all(t.n_blocks <= 3 for t in mgr.traces.values())
+
+    def test_stats_json_section_shape(self):
+        res = run_traces(NESTED_LOOP_SRC)
+        tr = res.stats()["traces"]
+        for key in ("trace_threshold", "max_trace_blocks", "traces_built",
+                    "live_traces", "compile_failures", "recordings_aborted",
+                    "demotions", "pruned", "runs", "side_exits",
+                    "blocks_retired", "insns_retired", "compile_seconds"):
+            assert key in tr, key
+        # Other tiers report no traces section at all.
+        plain = vg(NESTED_LOOP_SRC, "none", codegen="pygen",
+                   stats_format="json")
+        assert plain.stats()["traces"] is None
+
+
+class TestInvalidation:
+    def test_transtab_discard_severs_containing_traces(self):
+        # An SMC flush and a munmap both funnel into transtab discards;
+        # killing any member must sever every trace containing it.
+        res = run_traces(NESTED_LOOP_SRC)
+        sched = res.core.scheduler
+        mgr = sched.traces
+        assert mgr.traces
+        head, trace = next(iter(mgr.traces.items()))
+        head_t = trace.members[0]
+        # With loop unrolling a member list may revisit the head; sever
+        # through a *different* block so the head survives the discard.
+        victim = next(m for m in trace.members if m is not head_t)
+        affected = [tr for tr in mgr.traces.values()
+                    if any(m is victim for m in tr.members)]
+        before = mgr.demotions
+        assert sched.transtab.discard(victim.guest_addr)
+        assert trace.dead
+        assert head not in mgr.traces
+        # One demotion per trace sharing the victim block.
+        assert mgr.demotions == before + len(affected)
+        assert all(tr.dead for tr in affected)
+        # The surviving head may re-record: its counter was reset.
+        assert head_t.exec_count == 0
+
+    def test_eviction_mid_run_severs_and_output_matches_native(self):
+        img = asm_image(CALL_HEAVY_SRC)
+        nat = native(img)
+        res = run_traces(img, trace_threshold=3, transtab_entries=12,
+                         dispatch_cache_size=16)
+        assert res.stdout == nat.stdout
+        assert res.exit_code == nat.exit_code
+        sched = res.core.scheduler
+        assert sched.transtab.stats.evict_rounds > 0, \
+            "fixture too large to force eviction"
+        tr = res.stats()["traces"]
+        assert tr["traces_built"] >= 1
+        assert tr["demotions"] >= 1, \
+            "eviction never severed a live trace"
+        for trace in sched.traces.traces.values():
+            assert not trace.dead
+            assert all(not m.dead for m in trace.members)
+
+    def test_smc_patch_consistent_with_block_tier(self):
+        # Under --smc-check=stack (the default), patching non-stack code
+        # legitimately keeps running the stale translation; the trace
+        # tier must reproduce that behaviour *exactly* — its build-time
+        # member hash check pins traces to translation-time bytes, so a
+        # stale block and a stale trace stay in agreement.
+        src = """
+        .text
+main:   movi r0, 7          ; mmap(0, 4096, rwx)
+        movi r1, 0
+        movi r2, 4096
+        movi r3, 7
+        syscall
+        mov  r6, r0
+        ; write a tiny function: movi r0, 5 ; ret
+        movi r1, 0x11
+        stb  [r6], r1
+        movi r1, 0
+        stb  [r6+1], r1
+        sti  [r6+2], 5
+        movi r1, 3
+        stb  [r6+6], r1
+        movi r7, 40
+hot:    call r6
+        dec  r7
+        jnz  hot
+        push r0
+        call putint
+        addi sp, 4
+        ; patch the immediate mid-run
+        sti  [r6+2], 9
+        call r6
+        push r0
+        call putint
+        addi sp, 4
+        movi r0, 0
+        ret
+"""
+        img = asm_image(src)
+        base = vg(img, "none", codegen="closures", smc_check="stack")
+        res = run_traces(img, smc_check="stack", trace_threshold=3)
+        assert res.stdout == base.stdout
+        assert res.exit_code == base.exit_code
+
+    def test_smc_flush_detected_with_check_all(self):
+        # With --smc-check=all every block re-verifies its bytes, so the
+        # patch is detected; checked blocks never join traces, and the
+        # run stays correct end to end.
+        src = """
+        .text
+main:   movi r0, 7
+        movi r1, 0
+        movi r2, 4096
+        movi r3, 7
+        syscall
+        mov  r6, r0
+        movi r1, 0x11
+        stb  [r6], r1
+        movi r1, 0
+        stb  [r6+1], r1
+        sti  [r6+2], 5
+        movi r1, 3
+        stb  [r6+6], r1
+        movi r7, 10
+hot:    call r6
+        dec  r7
+        jnz  hot
+        push r0
+        call putint
+        addi sp, 4
+        sti  [r6+2], 9
+        call r6
+        push r0
+        call putint
+        addi sp, 4
+        movi r0, 0
+        ret
+"""
+        res = run_traces(src, smc_check="all", trace_threshold=3)
+        assert res.stdout.split() == ["5", "9"]
+        sched = res.core.scheduler
+        assert sched.transtab.stats.discarded >= 1
+        assert sched.dispatcher.stats.smc_flushes >= 1
+
+    def test_low_quality_trace_is_pruned(self):
+        # A trace whose runs on average retire fewer than 1.5 member
+        # blocks past the probation window costs more than it saves;
+        # the next side exit demotes it and pins the head to the block
+        # tier so the same biased chain is not re-recorded.
+        from repro.core.traces import _TRACE_PROBE
+
+        res = run_traces(NESTED_LOOP_SRC)
+        mgr = res.core.scheduler.traces
+        head, trace = next(iter(mgr.traces.items()))
+        head_t = trace.members[0]
+        trace.runs = _TRACE_PROBE
+        trace.blocks = _TRACE_PROBE  # avg 1.0 < 1.5
+        before = mgr.pruned
+        mgr.note_side_exit(trace)
+        assert mgr.pruned == before + 1
+        assert trace.dead
+        assert head not in mgr.traces
+        assert head_t.trace is None
+        assert head_t.trace_failed
+
+    def test_good_trace_survives_probation(self):
+        res = run_traces(NESTED_LOOP_SRC)
+        mgr = res.core.scheduler.traces
+        head, trace = next(iter(mgr.traces.items()))
+        trace.runs = 1000
+        trace.blocks = 1000 * trace.n_blocks  # every run retires fully
+        mgr.note_side_exit(trace)
+        assert not trace.dead
+        assert head in mgr.traces
+
+    def test_failed_build_marks_head_and_never_retries(self):
+        res = run_traces(NESTED_LOOP_SRC)
+        sched = res.core.scheduler
+        mgr = sched.traces
+        head, trace = next(iter(mgr.traces.items()))
+        head_t = trace.members[0]
+        # Simulate a build failure on a fresh head: the flag stops both
+        # re-requests and re-recordings.
+        head_t.trace_failed = True
+        mgr.request(head_t)
+        assert head_t.guest_addr not in mgr._want
+
+
+class TestTraceIRShape:
+    def test_stitched_trace_spans_members_and_merges_ir(self):
+        from repro.core.traces import TraceManager
+
+        res = run_traces(NESTED_LOOP_SRC)
+        mgr = res.core.scheduler.traces
+        assert isinstance(mgr, TraceManager)
+        for trace in mgr.traces.values():
+            # Every member's guest range is covered by the trace.
+            for m in trace.members[: trace.n_blocks]:
+                assert trace.covers(m.guest_addr)
+            assert trace.total_insns == trace.stats.guest_insns
+            assert trace.compiled_fn is not None
+
+    def test_trace_compiled_source_is_one_function(self):
+        res = run_traces(NESTED_LOOP_SRC)
+        mgr = res.core.scheduler.traces
+        trace = next(iter(mgr.traces.values()))
+        src = getattr(trace.compiled_fn, "pygen_source", None)
+        assert src is not None
+        assert src.count("def ") == 1
