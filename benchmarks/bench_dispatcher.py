@@ -17,6 +17,7 @@ it must clear a 1.3x blocks/sec geomean over the default mode while
 producing byte-identical output.
 """
 
+import gc
 import time
 
 from repro import Options, run_tool
@@ -32,15 +33,23 @@ def test_dispatcher_and_chaining(benchmark, capsys):
         rows = []
         for name in PROGRAMS:
             wl = build(name, scale=SCALE)
+            # A full gen-2 collection costs tens of ms against ~50ms
+            # phases; whose timer absorbs it depends on the process's
+            # allocation history, not on the mode under test.  Collect
+            # before each timer so every phase starts from the same GC
+            # state.
+            gc.collect()
             t0 = time.perf_counter()
             plain = run_tool("none", wl.image, options=Options(log_target="capture"))
             t_plain = time.perf_counter() - t0
+            gc.collect()
             t0 = time.perf_counter()
             chained = run_tool(
                 "none", wl.image,
                 options=Options(log_target="capture", chaining=True),
             )
             t_chain = time.perf_counter() - t0
+            gc.collect()
             t0 = time.perf_counter()
             perf = run_tool(
                 "none", wl.image,

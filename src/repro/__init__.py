@@ -17,7 +17,17 @@ guest machine (see DESIGN.md for the substitution rationale):
 * :mod:`repro.baseline` — a copy-and-annotate framework (the Pin stand-in)
 * :mod:`repro.workloads` — the 25 SPEC-shaped benchmark programs
 
-Quickstart::
+Quickstart (the stable embedding surface is :mod:`repro.api`)::
+
+    from repro import api
+
+    result = api.run("prog.s", tool="memcheck")      # one classified job
+    report = api.run_fleet(["a.s", "b.s"], tool="memcheck",
+                           cache_dir="/tmp/codecache")
+    api.replay("bundles/job0003-a2.bundle.json")     # crash forensics
+    cache = api.open_cache("/tmp/codecache")         # inspect/share it
+
+Lower-level pieces (assembler, cores, tools) remain importable::
 
     from repro import assemble, build_source, run_native, run_tool
 
@@ -28,14 +38,23 @@ Quickstart::
         print(error.format())
 """
 
-from .core.options import Options, parse_argv
-from .core.supervisor import (
+from . import api
+from .api import (
+    BadOption,
+    FleetReport,
     FleetSupervisor,
     JobResult,
     JobSpec,
+    Options,
     RetryPolicy,
     WatchdogConfig,
+    load_image,
+    open_cache,
+    parse_argv,
+    replay,
     replay_bundle,
+    run,
+    run_fleet,
     run_job,
 )
 from .core.tool import Tool
@@ -46,11 +65,19 @@ from .libc.stubs import build_source
 from .native import NativeResult, run_native
 from .tools import available_tools, create_tool
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "api",
+    "run",
+    "run_fleet",
+    "replay",
+    "open_cache",
+    "FleetReport",
     "Options",
+    "BadOption",
     "parse_argv",
+    "load_image",
     "FleetSupervisor",
     "JobResult",
     "JobSpec",

@@ -156,6 +156,10 @@ class HostCPU:
         self._pygen_cache: Dict[bytes, Callable] = {}
         self.pygen_cache_hits = 0
         self.pygen_cache_misses = 0
+        #: Persistent code cache (core.codecache), set by the scheduler
+        #: under --cache-dir: compile_pygen_code and the trace builder
+        #: round-trip their content-addressed payloads through it.
+        self.codecache = None
 
     # -- compilation -------------------------------------------------------------
 

@@ -28,6 +28,11 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..ir.ops import OPS
+
+#: Encoding format version, part of the persistent code cache's context
+#: key (core.codecache): bump on any change to the byte encoding, the
+#: opcode table, or the pre-registered jump-kind order.
+HOSTISA_FORMAT_VERSION = 1
 from ..ir.types import Ty
 
 # Stable numbering of IR primitive ops for the ALU-op field.

@@ -43,6 +43,7 @@ from __future__ import annotations
 
 import struct
 import sys
+from collections import OrderedDict
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..guest.regs import GUEST_STATE_SIZE, OFFSET_PC
@@ -76,16 +77,77 @@ from .hostisa import (
 )
 from .hostcpu import OP_INLINE
 
+#: Emission format version, part of the persistent code cache's pygen
+#: payload key (core.codecache): bump on any change to emit_pygen output
+#: or the spec entry shapes.
+PYGEN_EMIT_VERSION = 1
+
 #: Process-wide pygen source -> code object cache (cf. _RUNNER_SRC_CACHE).
 _PYGEN_SRC_CACHE: Dict[str, object] = {}
 
 #: Process-wide encoded host code -> (source, env spec) cache.  Decode +
 #: emission dominate compile_pygen; both are pure functions of the code
 #: bytes, so fresh runs (benchmarks, fleets, replay) reuse the text and
-#: only re-bind per-run objects.  Cleared wholesale when full — content
-#: addressing means entries never go stale.
-_PYGEN_EMIT_CACHE: Dict[bytes, Tuple[str, tuple]] = {}
+#: only re-bind per-run objects.  An LRU with both an entry cap and a
+#: byte budget (the same budget plumbing as the on-disk cache, set from
+#: --cache-max-mb via set_emit_cache_budget); content addressing means
+#: entries never go stale, so eviction is purely a memory bound.
+_PYGEN_EMIT_CACHE: "OrderedDict[bytes, Tuple[str, tuple]]" = OrderedDict()
 _PYGEN_EMIT_CACHE_MAX = 8192
+_EMIT_CACHE_BUDGET = 64 * 1024 * 1024
+_EMIT_CACHE_BYTES = 0
+_EMIT_CACHE_STATS = {"hits": 0, "misses": 0, "evictions": 0,
+                     "evicted_bytes": 0}
+
+
+def _emit_entry_bytes(code: bytes, hit: Tuple[str, tuple]) -> int:
+    return len(code) + len(hit[0]) + 64 * len(hit[1]) + 128
+
+
+def set_emit_cache_budget(n_bytes: int) -> None:
+    """Bound the in-process emit cache (LRU eviction past the budget)."""
+    global _EMIT_CACHE_BUDGET
+    _EMIT_CACHE_BUDGET = max(1, int(n_bytes))
+    _emit_cache_trim()
+
+
+def _emit_cache_trim() -> None:
+    global _EMIT_CACHE_BYTES
+    while _PYGEN_EMIT_CACHE and (
+            _EMIT_CACHE_BYTES > _EMIT_CACHE_BUDGET
+            or len(_PYGEN_EMIT_CACHE) > _PYGEN_EMIT_CACHE_MAX):
+        old_code, old_hit = _PYGEN_EMIT_CACHE.popitem(last=False)
+        n = _emit_entry_bytes(old_code, old_hit)
+        _EMIT_CACHE_BYTES -= n
+        _EMIT_CACHE_STATS["evictions"] += 1
+        _EMIT_CACHE_STATS["evicted_bytes"] += n
+
+
+def _emit_cache_put(code: bytes, hit: Tuple[str, tuple]) -> None:
+    global _EMIT_CACHE_BYTES
+    if code in _PYGEN_EMIT_CACHE:
+        return
+    _PYGEN_EMIT_CACHE[code] = hit
+    _EMIT_CACHE_BYTES += _emit_entry_bytes(code, hit)
+    _emit_cache_trim()
+
+
+def clear_emit_cache() -> None:
+    """Drop every emit-cache entry (keeps the cumulative counters).
+    Clearing through here keeps the byte accounting in sync — never
+    ``_PYGEN_EMIT_CACHE.clear()`` directly."""
+    global _EMIT_CACHE_BYTES
+    _PYGEN_EMIT_CACHE.clear()
+    _EMIT_CACHE_BYTES = 0
+
+
+def emit_cache_stats() -> dict:
+    """Emit-cache counters for the --stats=json codegen section."""
+    return {
+        **_EMIT_CACHE_STATS,
+        "entries": len(_PYGEN_EMIT_CACHE),
+        "bytes": _EMIT_CACHE_BYTES,
+    }
 
 #: Per-run env names always bound by bind_pygen, in emission order —
 #: emit_pygen seeds them as placeholders so generated names (``_k5``…)
@@ -631,14 +693,126 @@ def compile_pygen_code(cpu, code: bytes) -> Callable:
     Emission is deterministic in the encoded bytes, so repeated runs of
     the same program (benchmarks, fleets, replay) skip straight to
     :func:`bind_pygen` — the only per-run work left is building the env
-    dict and executing the cached code object.
+    dict and executing the cached code object.  When the cpu carries a
+    persistent :class:`repro.core.codecache.CodeCache`, emit payloads
+    round-trip through it, so the skip extends across processes.
     """
     hit = _PYGEN_EMIT_CACHE.get(code)
-    if hit is None:
-        from .hostisa import decode_insns
+    if hit is not None:
+        _PYGEN_EMIT_CACHE.move_to_end(code)
+        _EMIT_CACHE_STATS["hits"] += 1
+    else:
+        _EMIT_CACHE_STATS["misses"] += 1
+        disk = getattr(cpu, "codecache", None)
+        if disk is not None:
+            hit = disk.load_pygen(code)
+        if hit is None:
+            from .hostisa import decode_insns
 
-        hit = emit_pygen(decode_insns(code))
-        if len(_PYGEN_EMIT_CACHE) >= _PYGEN_EMIT_CACHE_MAX:
-            _PYGEN_EMIT_CACHE.clear()
-        _PYGEN_EMIT_CACHE[code] = hit
+            hit = emit_pygen(decode_insns(code))
+            if disk is not None:
+                disk.store_pygen(code, *hit)
+        _emit_cache_put(code, hit)
     return bind_pygen(cpu, *hit)
+
+
+# -- spec (de)serialization for the persistent cache ---------------------------
+
+
+class SpecCodecError(Exception):
+    """An env spec entry has no stable serialized form."""
+
+
+#: Struct codecs and rounding helpers emit_pygen binds by well-known
+#: cache key — serialized by that key, resolved back by table lookup.
+_WELLKNOWN = {
+    "pf64": _F64_PACK_INTO,
+    "uf64": _F64_UNPACK_FROM,
+    "pf32": _F32_PACK_INTO,
+    "uf32": _F32_UNPACK_FROM,
+    "f32rt": _f32_round,
+}
+_WELLKNOWN_BY_ID = {id(v): k for k, v in _WELLKNOWN.items()}
+_OP_NAME_BY_ID: Optional[Dict[int, str]] = None
+
+
+def _op_name_by_id() -> Dict[int, str]:
+    global _OP_NAME_BY_ID
+    if _OP_NAME_BY_ID is None:
+        from ..ir.ops import OPS
+
+        _OP_NAME_BY_ID = {id(op.fn): name for name, op in OPS.items()}
+    return _OP_NAME_BY_ID
+
+
+def _is_plain(v: object) -> bool:
+    return v is None or isinstance(v, (int, float, str, bytes, bool))
+
+
+def _encode_const(v: object):
+    wk = _WELLKNOWN_BY_ID.get(id(v))
+    if wk is not None:
+        return ("wk", wk)
+    if isinstance(v, Ty):
+        return ("ty", v.name)
+    if callable(v):
+        name = _op_name_by_id().get(id(v))
+        if name is not None:
+            return ("op", name)
+        raise SpecCodecError(f"unserializable callable {v!r}")
+    if _is_plain(v):
+        return ("v", v)
+    if isinstance(v, tuple) and all(_is_plain(x) for x in v):
+        return ("v", v)
+    raise SpecCodecError(f"unserializable const {type(v).__name__}")
+
+
+def encode_spec(spec: tuple) -> tuple:
+    """Turn an emit_pygen env spec into a picklable tuple.
+
+    Op functions (lambdas in the IR op registry), bound struct codecs
+    and the F32 rounding helper are encoded by name; Ty values by enum
+    name; plain values verbatim.  Raises :class:`SpecCodecError` for
+    anything else — the caller skips persistence rather than storing an
+    entry it cannot decode.
+    """
+    out = []
+    for kind, name, payload in spec:
+        if kind == "const":
+            out.append(("const", name, _encode_const(payload)))
+        elif kind in ("helper", "attr"):
+            out.append((kind, name, payload))
+        else:
+            raise SpecCodecError(f"unknown spec kind {kind!r}")
+    return tuple(out)
+
+
+def decode_spec(enc: tuple) -> tuple:
+    """Inverse of :func:`encode_spec`; raises SpecCodecError on any
+    unknown shape (the cache layer quarantines the entry)."""
+    from ..ir.ops import get_op
+
+    out = []
+    try:
+        for kind, name, payload in enc:
+            if kind == "const":
+                tag, val = payload
+                if tag == "wk":
+                    out.append(("const", name, _WELLKNOWN[val]))
+                elif tag == "ty":
+                    out.append(("const", name, Ty[val]))
+                elif tag == "op":
+                    out.append(("const", name, get_op(val).fn))
+                elif tag == "v":
+                    out.append(("const", name, val))
+                else:
+                    raise SpecCodecError(f"unknown const tag {tag!r}")
+            elif kind in ("helper", "attr"):
+                out.append((kind, name, payload))
+            else:
+                raise SpecCodecError(f"unknown spec kind {kind!r}")
+    except SpecCodecError:
+        raise
+    except Exception as exc:
+        raise SpecCodecError(str(exc))
+    return tuple(out)

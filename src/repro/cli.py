@@ -12,9 +12,9 @@ loaded instead, with the script's path as its first argument (mirroring
 the loader behaviour described in Section 3.3).
 
 Without ``--tool``, the program runs natively (the baseline).  Both
-verbs are thin shells over the embedding API in
-:mod:`repro.core.supervisor`: single runs over :func:`run_job`, the
-``fleet`` verb over :class:`FleetSupervisor`.
+verbs are thin shells over the stable embedding facade in
+:mod:`repro.api`: single runs over :func:`repro.api.run`, the ``fleet``
+verb over :func:`repro.api.run_fleet`.
 """
 
 from __future__ import annotations
@@ -23,16 +23,16 @@ import json
 import sys
 from typing import List, Optional
 
-from .core.faultinject import BadInjectSpec, FleetInjector
-from .core.options import BadOption, parse_argv
-from .core.supervisor import (
-    FleetSupervisor,
+from .api import (
+    BadOption,
     JobSpec,
     RetryPolicy,
     WatchdogConfig,
-    load_image,
-    run_job,
+    parse_argv,
+    run,
+    run_fleet,
 )
+from .core.faultinject import BadInjectSpec, FleetInjector
 from .tools import available_tools
 
 USAGE = """\
@@ -78,6 +78,11 @@ core options:
   --checkpoint-every=<insns>   while recording, snapshot full guest state
                                every N guest instructions
   --restore=<file>             resume from the last checkpoint in a log
+  --cache-dir=<dir>            persistent cross-process translation cache:
+                               warm starts skip the whole decode/opt/
+                               instrument/codegen pipeline
+  --cache-max-mb=<mb>          on-disk cache size budget, LRU-evicted
+                               (default: 256)
   --log-file=<path>            send tool output to a file (default: stderr)
   --suppressions=<file>        load error suppressions
   --stack-size=<bytes>         client stack size
@@ -113,6 +118,10 @@ fleet options:
   --verify-bundles=yes|no    replay each terminal-failure bundle in the
                              supervisor and report its endpoint
                              (default: no)
+  --cache-dir=<dir>          shared persistent translation cache: opened
+                             once before forking, so N workers translate
+                             each block once fleet-wide
+  --cache-max-mb=<mb>        shared cache size budget (default: 256)
   --stats=json               print the aggregated fleet report as JSON
                              on stdout
 """
@@ -144,7 +153,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 file=sys.stderr,
             )
             return 2
-        result = run_job(program_path, None, options, argv=client_argv)
+        result = run(program_path, None, options, argv=client_argv)
         if result.error is not None:
             print(f"repro: {result.error}", file=sys.stderr)
             return result.exit_code
@@ -155,7 +164,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                   file=sys.stderr)
         return result.exit_code
 
-    result = run_job(program_path, tool_name, options, argv=client_argv)
+    result = run(program_path, tool_name, options, argv=client_argv)
     if result.error is not None:
         print(f"repro: {result.error}", file=sys.stderr)
         return result.exit_code
@@ -186,6 +195,8 @@ def fleet_main(argv: List[str]) -> int:
     wall_budget, heartbeat_timeout = 120.0, 30.0
     block_budget: Optional[int] = None
     fleet_dir: Optional[str] = None
+    cache_dir: Optional[str] = None
+    cache_max_mb = 256
     bundles, verify_bundles, stats_json = True, False, False
     tool: Optional[str] = None
     job_flags: List[str] = []
@@ -221,6 +232,12 @@ def fleet_main(argv: List[str]) -> int:
                 block_budget = int(value, 0)
             elif name == "fleet-dir":
                 fleet_dir = value
+            elif name == "cache-dir":
+                # Fleet-level: the supervisor pre-opens the cache and
+                # appends the per-job flags itself.
+                cache_dir = value
+            elif name == "cache-max-mb":
+                cache_max_mb = int(value, 0)
             elif name == "bundles":
                 bundles = value != "no"
             elif name == "verify-bundles":
@@ -242,6 +259,9 @@ def fleet_main(argv: List[str]) -> int:
         print("repro fleet: --repeat and --workers must be >= 1",
               file=sys.stderr)
         return 2
+    if cache_max_mb < 1:
+        print("repro fleet: --cache-max-mb must be >= 1", file=sys.stderr)
+        return 2
 
     jobs = []
     for program in programs:
@@ -257,7 +277,7 @@ def fleet_main(argv: List[str]) -> int:
         import tempfile
 
         fleet_dir = tempfile.mkdtemp(prefix="repro-fleet-")
-    supervisor = FleetSupervisor(
+    report = run_fleet(
         jobs,
         workers=workers,
         policy=RetryPolicy(
@@ -274,8 +294,9 @@ def fleet_main(argv: List[str]) -> int:
         bundle_dir=fleet_dir if bundles else None,
         record_bundles=bundles,
         verify_bundles=verify_bundles,
+        cache_dir=cache_dir,
+        cache_max_mb=cache_max_mb,
     )
-    report = supervisor.run()
     summary = report["summary"]
     print(
         f"fleet: {report['fleet']['jobs']} jobs on "
@@ -300,7 +321,7 @@ def fleet_main(argv: List[str]) -> int:
             file=sys.stderr,
         )
     if stats_json:
-        print(json.dumps(report, indent=2, sort_keys=True))
+        print(json.dumps(report.raw, indent=2, sort_keys=True))
     return 0 if summary["terminal-failure"] == 0 else 1
 
 

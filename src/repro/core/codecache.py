@@ -1,0 +1,462 @@
+"""Persistent, cross-process translation cache (``--cache-dir``).
+
+The paper's central cost is the 8-phase translation pipeline, and the
+in-process caches (``hostcpu._pygen_cache``, ``_PYGEN_EMIT_CACHE``, the
+traces ``_BUILD_CACHE``) amortize it only within one process lifetime.
+This module makes the amortization *persistent*: an on-disk,
+content-addressed store keyed by everything a translation's output
+depends on, so a warm start skips decode -> IR -> opt -> isel ->
+regalloc -> emit and goes straight to ``bind_pygen`` / exec.
+
+Three namespaces share one directory (under a format-versioned subdir,
+so a format bump simply stops seeing old entries):
+
+``t/``  whole translations: assembled host code + the flat instrumented
+        IR + pipeline stats, keyed by *(context hash, guest address)*
+        and **verified** on every hit by re-fetching the guest bytes
+        over the stored ranges and comparing their SHA-256 — a stale
+        entry (SMC, a different program at the same address) is a miss,
+        never a wrong translation.
+``p/``  pygen emit payloads: ``(source text, encoded env spec)`` keyed
+        by the host code bytes (emission is a pure function of them).
+``x/``  trace build results: assembled superblock code keyed by the
+        stitched pre-opt IR signature (see core.traces).
+
+The *context hash* folds in every version and configuration input the
+pipeline output depends on: frontend spec version, opt pipeline
+version, host ISA encoding format, cache format, tool identity +
+unclaimed tool options, opt1/opt2/unroll, SP-tracking, and the live
+guest redirect table (redirects steer the disassembler's chase
+decisions, so they are re-read on every lookup).
+
+Durability properties:
+
+* **Crash-safe atomic writes** — entries are written to a temp file and
+  ``os.replace``d into place; readers never see a partial entry.
+* **Version/invalidation header** — a ``VERSION`` file records the
+  format; entries live under ``v<N>/`` so a format bump orphans (and
+  eventually evicts) old entries instead of misreading them.
+* **Corruption tolerance** — every entry carries magic + SHA-256 over
+  its payload; a damaged entry is quarantined (moved aside, counted)
+  and treated as a miss.  Nothing a hostile byte can do produces a
+  wrong translation: the payload digest guards decode, and the guest
+  byte re-verification guards semantic staleness.
+* **LRU size budget** — ``--cache-max-mb`` bounds the store; hits touch
+  mtimes, eviction removes oldest-first.  Concurrent fleet writers are
+  safe: identical content writes identical entries, and a racing
+  reader either sees a complete entry or misses.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import zlib
+from typing import Callable, Dict, Optional, Tuple
+
+#: On-disk format version: bump whenever entry layout, the pickled
+#: payload schema, or any versioned pipeline input changes shape.
+CACHE_FORMAT_VERSION = 1
+
+_MAGIC = b"RCC1"
+_PICKLE_PROTO = 4
+
+#: Budget check cadence: re-walk the store after this many bytes of
+#: writes (or at open), not on every store.
+_EVICT_CHECK_BYTES = 4 * 1024 * 1024
+
+
+class CacheStats:
+    """Cumulative counters, reported as the ``cache`` stats section.
+    Every field is numeric so fleet aggregation (``merge_stats``) sums
+    them across workers."""
+
+    __slots__ = (
+        "hits", "misses", "stores", "store_errors", "quarantined",
+        "evictions", "evicted_bytes", "bytes_read", "bytes_written",
+        "pygen_hits", "pygen_misses", "pygen_stores",
+        "trace_hits", "trace_misses", "trace_stores",
+    )
+
+    def __init__(self) -> None:
+        for name in self.__slots__:
+            setattr(self, name, 0)
+
+    def as_dict(self) -> dict:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+
+class CodeCache:
+    """One on-disk cache directory, shared by any number of processes."""
+
+    def __init__(self, directory: str, *, max_mb: int = 256):
+        self.root = os.path.abspath(directory)
+        self.max_bytes = max(1, int(max_mb)) * 1024 * 1024
+        self.stats = CacheStats()
+        self.base = os.path.join(self.root, f"v{CACHE_FORMAT_VERSION}")
+        self._dirs = {
+            "t": os.path.join(self.base, "t"),
+            "p": os.path.join(self.base, "p"),
+            "x": os.path.join(self.base, "x"),
+            "q": os.path.join(self.base, "quarantine"),
+        }
+        #: Per-context translation index: ctx-dir -> {addr: [filenames]},
+        #: listed once per process and extended by our own stores.
+        self._t_index: Dict[str, Dict[int, list]] = {}
+        self._bytes_since_check = 0
+        self._seq = 0
+        for d in self._dirs.values():
+            os.makedirs(d, exist_ok=True)
+        self._write_header()
+        self._enforce_budget()
+
+    # -- header ----------------------------------------------------------------
+
+    def _write_header(self) -> None:
+        path = os.path.join(self.root, "VERSION")
+        if os.path.exists(path):
+            return
+        try:
+            self._atomic_write(
+                path,
+                (f'{{"cache": "repro-codecache", '
+                 f'"format": {CACHE_FORMAT_VERSION}}}\n').encode("ascii"),
+            )
+        except OSError:
+            pass
+
+    # -- low-level entry I/O ----------------------------------------------------
+
+    def _atomic_write(self, path: str, data: bytes) -> None:
+        self._seq += 1
+        tmp = f"{path}.tmp.{os.getpid()}.{self._seq}"
+        with open(tmp, "wb") as f:
+            f.write(data)
+        os.replace(tmp, path)
+
+    def _write_entry(self, path: str, obj: object) -> bool:
+        """Serialize *obj* with a digest guard; False on any failure."""
+        try:
+            payload = pickle.dumps(obj, protocol=_PICKLE_PROTO)
+        except Exception:
+            self.stats.store_errors += 1
+            return False
+        blob = _MAGIC + hashlib.sha256(payload).digest() + payload
+        try:
+            self._atomic_write(path, blob)
+        except OSError:
+            self.stats.store_errors += 1
+            return False
+        self.stats.stores += 1
+        self.stats.bytes_written += len(blob)
+        self._bytes_since_check += len(blob)
+        if self._bytes_since_check >= _EVICT_CHECK_BYTES:
+            self._enforce_budget()
+        return True
+
+    def _read_entry(self, path: str) -> Optional[object]:
+        """Read + verify one entry; quarantines on corruption, returns
+        None on miss/corruption (never raises, never returns a payload
+        whose digest does not match)."""
+        try:
+            with open(path, "rb") as f:
+                blob = f.read()
+        except OSError:
+            return None  # concurrently evicted: a plain miss
+        try:
+            if (len(blob) < 36 or blob[:4] != _MAGIC
+                    or hashlib.sha256(blob[36:]).digest() != blob[4:36]):
+                raise ValueError("bad magic or digest")
+            obj = pickle.loads(blob[36:])
+        except Exception:
+            self._quarantine(path)
+            return None
+        self.stats.bytes_read += len(blob)
+        return obj
+
+    def _quarantine(self, path: str) -> None:
+        """Move a damaged entry aside so it is never read again."""
+        self.stats.quarantined += 1
+        dst = os.path.join(
+            self._dirs["q"], f"{os.path.basename(path)}.{os.getpid()}.bad"
+        )
+        try:
+            os.replace(path, dst)
+        except OSError:
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+
+    def _touch(self, path: str) -> None:
+        try:
+            os.utime(path)
+        except OSError:
+            pass
+
+    # -- translations (t/) ------------------------------------------------------
+
+    def _t_dir(self, ctx: bytes) -> str:
+        d = os.path.join(self._dirs["t"], ctx.hex()[:16])
+        if d not in self._t_index:
+            index: Dict[int, list] = {}
+            try:
+                os.makedirs(d, exist_ok=True)
+                for name in os.listdir(d):
+                    if not name.endswith(".tce"):
+                        continue
+                    try:
+                        addr = int(name.split("-", 1)[0], 16)
+                    except ValueError:
+                        continue
+                    index.setdefault(addr, []).append(name)
+            except OSError:
+                pass
+            self._t_index[d] = index
+        return d
+
+    def lookup_translation(
+        self, ctx: bytes, addr: int,
+        fetch: Callable[[int, int], bytes],
+    ) -> Optional[dict]:
+        """Return a verified entry dict for *addr*, or None.
+
+        Verification re-fetches the guest bytes over the entry's stored
+        ranges and compares digests, then recomputes the SMC CRC from
+        those same bytes — so a hit can never disagree with what a cold
+        translation of the current memory image would have seen.
+        """
+        d = self._t_dir(ctx)
+        for name in tuple(self._t_index[d].get(addr, ())):
+            path = os.path.join(d, name)
+            obj = self._read_entry(path)
+            if obj is None:
+                continue
+            try:
+                if obj["format"] != CACHE_FORMAT_VERSION or obj["addr"] != addr:
+                    raise ValueError("entry header mismatch")
+                ranges = tuple((int(s), int(n)) for s, n in obj["ranges"])
+                guest_sha = obj["guest_sha"]
+                code = obj["code"]
+                if not isinstance(code, bytes):
+                    raise ValueError("code is not bytes")
+            except Exception:
+                self._quarantine(path)
+                continue
+            try:
+                raw = b"".join(fetch(start, length) for start, length in ranges)
+            except Exception:
+                continue  # code pages gone or unreadable: a miss
+            if hashlib.sha256(raw).digest() != guest_sha:
+                continue  # stale (SMC / different program): a miss
+            self.stats.hits += 1
+            self._touch(path)
+            obj["ranges"] = ranges
+            obj["smc_crc"] = zlib.crc32(raw)
+            return obj
+        self.stats.misses += 1
+        return None
+
+    def store_translation(
+        self, ctx: bytes, addr: int,
+        fetch: Callable[[int, int], bytes],
+        *, code: bytes, ranges: Tuple[Tuple[int, int], ...],
+        irsb: object, stats: object,
+    ) -> bool:
+        try:
+            raw = b"".join(fetch(start, length) for start, length in ranges)
+        except Exception:
+            return False
+        guest_sha = hashlib.sha256(raw).digest()
+        obj = {
+            "format": CACHE_FORMAT_VERSION,
+            "addr": addr,
+            "ranges": tuple(ranges),
+            "guest_sha": guest_sha,
+            "code": code,
+            "irsb": irsb,
+            "stats": stats,
+        }
+        d = self._t_dir(ctx)
+        name = f"{addr:08x}-{guest_sha.hex()[:16]}.tce"
+        if self._write_entry(os.path.join(d, name), obj):
+            # The write may have run an eviction pass, which drops the
+            # whole index — relist before recording our own entry.
+            if d not in self._t_index:
+                self._t_dir(ctx)
+            names = self._t_index[d].setdefault(addr, [])
+            if name not in names:
+                names.append(name)
+            return True
+        return False
+
+    # -- pygen emit payloads (p/) ----------------------------------------------
+
+    def _p_path(self, code: bytes, emit_version: int) -> str:
+        h = hashlib.sha256(b"pygen:%d:" % emit_version + code).hexdigest()
+        return os.path.join(self._dirs["p"], f"{h[:24]}.tcp")
+
+    def load_pygen(self, code: bytes) -> Optional[Tuple[str, tuple]]:
+        """Return ``(src, spec)`` for *code*, decoded from disk."""
+        from ..backend import pygen as _pygen
+
+        path = self._p_path(code, _pygen.PYGEN_EMIT_VERSION)
+        obj = self._read_entry(path)
+        if obj is None:
+            self.stats.pygen_misses += 1
+            return None
+        try:
+            src, enc = obj
+            spec = _pygen.decode_spec(enc)
+            if not isinstance(src, str):
+                raise ValueError("source is not a string")
+        except Exception:
+            self._quarantine(path)
+            self.stats.pygen_misses += 1
+            return None
+        self.stats.pygen_hits += 1
+        self._touch(path)
+        return src, spec
+
+    def store_pygen(self, code: bytes, src: str, spec: tuple) -> bool:
+        from ..backend import pygen as _pygen
+
+        try:
+            enc = _pygen.encode_spec(spec)
+        except _pygen.SpecCodecError:
+            self.stats.store_errors += 1
+            return False
+        if self._write_entry(self._p_path(code, _pygen.PYGEN_EMIT_VERSION),
+                             (src, enc)):
+            self.stats.pygen_stores += 1
+            return True
+        return False
+
+    # -- trace build results (x/) ----------------------------------------------
+
+    def _x_path(self, sig: bytes) -> str:
+        h = hashlib.sha256(b"trace:%d:" % CACHE_FORMAT_VERSION + sig)
+        return os.path.join(self._dirs["x"], f"{h.hexdigest()[:24]}.tcx")
+
+    def load_trace(self, sig: bytes) -> Optional[Tuple[bytes, int, int]]:
+        path = self._x_path(sig)
+        obj = self._read_entry(path)
+        if obj is None:
+            self.stats.trace_misses += 1
+            return None
+        try:
+            code, n_blocks, total_insns = obj
+            if not (isinstance(code, bytes) and isinstance(n_blocks, int)
+                    and isinstance(total_insns, int)):
+                raise ValueError("bad trace entry")
+        except Exception:
+            self._quarantine(path)
+            self.stats.trace_misses += 1
+            return None
+        self.stats.trace_hits += 1
+        self._touch(path)
+        return code, n_blocks, total_insns
+
+    def store_trace(self, sig: bytes, code: bytes,
+                    n_blocks: int, total_insns: int) -> bool:
+        if self._write_entry(self._x_path(sig),
+                             (code, int(n_blocks), int(total_insns))):
+            self.stats.trace_stores += 1
+            return True
+        return False
+
+    # -- size budget ------------------------------------------------------------
+
+    def _enforce_budget(self) -> None:
+        """Walk the store; evict oldest entries past the byte budget."""
+        self._bytes_since_check = 0
+        entries = []
+        total = 0
+        for key in ("t", "p", "x"):
+            top = self._dirs[key]
+            try:
+                walker = os.walk(top)
+            except OSError:
+                continue
+            for dirpath, _dirnames, filenames in walker:
+                for name in filenames:
+                    path = os.path.join(dirpath, name)
+                    try:
+                        st = os.stat(path)
+                    except OSError:
+                        continue
+                    entries.append((st.st_mtime, st.st_size, path))
+                    total += st.st_size
+        if total <= self.max_bytes:
+            return
+        entries.sort()
+        for mtime, size, path in entries:
+            if total <= self.max_bytes:
+                break
+            try:
+                os.remove(path)
+            except OSError:
+                continue
+            total -= size
+            self.stats.evictions += 1
+            self.stats.evicted_bytes += size
+        self._t_index.clear()  # dropped files may be indexed: relist lazily
+
+    # -- context binding ---------------------------------------------------------
+
+    def translation_view(
+        self, *, tool_key: str, tool_options: tuple, options,
+        track_stack_events: bool, redirects_fn=None,
+    ) -> "TranslationCacheView":
+        """Bind this cache to one run's translation context."""
+        from ..frontend.spec import SPEC_VERSION
+        from ..opt import OPT_PIPELINE_VERSION
+        from ..backend.hostisa import HOSTISA_FORMAT_VERSION
+
+        base = (
+            CACHE_FORMAT_VERSION,
+            SPEC_VERSION,
+            OPT_PIPELINE_VERSION,
+            HOSTISA_FORMAT_VERSION,
+            tool_key,
+            tuple(sorted(tool_options)),
+            bool(options.opt1), bool(options.opt2), bool(options.unroll),
+            bool(track_stack_events),
+        )
+        return TranslationCacheView(self, base, redirects_fn)
+
+    def stats_dict(self) -> dict:
+        return self.stats.as_dict()
+
+
+class TranslationCacheView:
+    """One run's window onto a :class:`CodeCache`: the context hash is
+    precomputed from the static configuration and refreshed against the
+    live redirect table (redirects change the disassembler's
+    chase-through decisions, so they are part of the key)."""
+
+    def __init__(self, cache: CodeCache, base_ctx: tuple, redirects_fn=None):
+        self.cache = cache
+        self._base = base_ctx
+        self._redirects_fn = redirects_fn
+        self._ctx_by_extra: Dict[tuple, bytes] = {}
+
+    def _ctx(self) -> bytes:
+        extra = self._redirects_fn() if self._redirects_fn is not None else ()
+        ctx = self._ctx_by_extra.get(extra)
+        if ctx is None:
+            ctx = hashlib.sha256(
+                repr((self._base, extra)).encode("utf-8")
+            ).digest()
+            self._ctx_by_extra[extra] = ctx
+        return ctx
+
+    def lookup(self, addr: int, fetch) -> Optional[dict]:
+        return self.cache.lookup_translation(self._ctx(), addr, fetch)
+
+    def store(self, addr: int, fetch, *, code, ranges, irsb, stats) -> bool:
+        return self.cache.store_translation(
+            self._ctx(), addr, fetch,
+            code=code, ranges=ranges, irsb=irsb, stats=stats,
+        )

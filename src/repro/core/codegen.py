@@ -239,6 +239,11 @@ class CodegenTiers:
     # -- reporting ---------------------------------------------------------------
 
     def stats_dict(self, transtab=None) -> dict:
+        # Imported here, not at module top: pygen stays unloaded for
+        # closures/--perf runs that never compile a block (and never ask
+        # for stats), keeping their per-process footprint unchanged.
+        from ..backend.pygen import emit_cache_stats as _emit_cache_stats
+
         s = self.stats
         cpu = self.hostcpu
         out = {
@@ -260,6 +265,7 @@ class CodegenTiers:
                 "misses": cpu.pygen_cache_misses,
                 "unique_blocks": len(cpu._pygen_cache),
             },
+            "emit_cache": _emit_cache_stats(),
         }
         if transtab is not None:
             live: Dict[str, int] = {}

@@ -23,6 +23,12 @@ def _default_codegen() -> str:
     return v if v in ("closures", "pygen", "auto", "traces") else "closures"
 
 
+def _default_cache_dir():
+    """Default --cache-dir, overridable via REPRO_CACHE_DIR so CI can run
+    the whole test suite against one shared persistent code cache."""
+    return os.environ.get("REPRO_CACHE_DIR") or None
+
+
 @dataclass
 class Options:
     """Core configuration (defaults mirror the paper where it gives one)."""
@@ -118,8 +124,58 @@ class Options:
     trace_translations: bool = False
     #: Guest stack size in bytes.
     stack_size: int = 1024 * 1024
+    #: Persistent cross-process translation cache directory
+    #: (core.codecache); None disables persistence.
+    cache_dir: Optional[str] = field(default_factory=_default_cache_dir)
+    #: Size budget for the persistent cache, in MB (LRU eviction past
+    #: it); also bounds the in-process pygen emit cache.
+    cache_max_mb: int = 256
     #: Tool-specific options that the core did not recognise.
     tool_options: List[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        """Keyword-constructor validation: embedders building Options
+        directly get the same BadOption errors the flag parser raises."""
+        if self.smc_check not in ("none", "stack", "all"):
+            raise BadOption(
+                f"smc_check must be none|stack|all, got {self.smc_check!r}"
+            )
+        if self.transtab_policy not in ("fifo", "lru"):
+            raise BadOption(
+                f"transtab_policy must be fifo|lru, got {self.transtab_policy!r}"
+            )
+        if self.codegen not in ("closures", "pygen", "auto", "traces"):
+            raise BadOption(
+                "codegen must be closures|pygen|auto|traces, "
+                f"got {self.codegen!r}"
+            )
+        if self.stats_format not in ("none", "json"):
+            raise BadOption(
+                f"stats_format must be none|json, got {self.stats_format!r}"
+            )
+        if self.jit_threshold < 1:
+            raise BadOption("jit_threshold must be >= 1")
+        if self.trace_threshold < 1:
+            raise BadOption("trace_threshold must be >= 1")
+        if self.max_trace_blocks < 2:
+            raise BadOption("max_trace_blocks must be >= 2")
+        if self.cache_max_mb < 1:
+            raise BadOption("cache_max_mb must be >= 1")
+
+    @classmethod
+    def from_cli_args(cls, args: List[str]) -> "Options":
+        """Build Options from a list of ``--name=value`` strings — the
+        stable embedding entry point, so embedders stop reimplementing
+        the flag grammar.  Unrecognised ``--`` options are collected
+        into ``tool_options``; anything else raises BadOption.
+        """
+        opts = cls()
+        for arg in args:
+            if not str(arg).startswith("--"):
+                raise BadOption(f"not an option: {arg!r}")
+            if not opts.set(str(arg)):
+                opts.tool_options.append(str(arg))
+        return opts
 
     _FLAG_NAMES = {
         "chaining": "chaining",
@@ -202,6 +258,15 @@ class Options:
             self.suppressions.append(value)
         elif name == "stack-size":
             self.stack_size = int(value, 0)
+        elif name == "cache-dir":
+            if not value:
+                raise BadOption("--cache-dir needs a directory path")
+            self.cache_dir = value
+        elif name == "cache-max-mb":
+            n = int(value, 0)
+            if n < 1:
+                raise BadOption("--cache-max-mb must be >= 1")
+            self.cache_max_mb = n
         elif name == "signal-poll":
             n = int(value, 0)
             if n < 1:

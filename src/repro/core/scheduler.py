@@ -350,6 +350,47 @@ class Scheduler:
         self.translator.disasm._chase_ok = self._chase_ok
         if self.injector is not None:
             self.translator.fail_hook = self.injector.jit_failure
+        #: Persistent cross-process translation cache (--cache-dir): one
+        #: shared store skips the whole pipeline for byte-identical
+        #: blocks across runs and fleet workers (core.codecache).
+        self.codecache = None
+        # --trace-translations prints per-phase IR *during* translation;
+        # a cache hit skips those phases, so debug-trace runs stay
+        # uncached to keep their output meaningful.
+        if options.cache_dir and not options.trace_translations:
+            from .codecache import CodeCache
+
+            try:
+                self.codecache = CodeCache(
+                    options.cache_dir, max_mb=options.cache_max_mb
+                )
+            except OSError:
+                self.codecache = None  # unusable directory: run uncached
+        if self.codecache is not None:
+            # pygen emit payloads and trace build results persist through
+            # the same store (backend.pygen / core.traces find it here).
+            self.hostcpu.codecache = self.codecache
+            _redir = self.redirector
+            self.translator.cache = self.codecache.translation_view(
+                # Tool class identity + name + unclaimed options: two
+                # tools instrumenting differently must never share a
+                # translation context.
+                tool_key=(f"{type(tool).__module__}."
+                          f"{type(tool).__qualname__}:{tool.name}"),
+                tool_options=tuple(options.tool_options),
+                options=options,
+                track_stack_events=events.tracks_stack_events,
+                # Redirects steer the disassembler's chase decisions
+                # (_chase_ok), and tools add them at runtime — re-read
+                # the table on every lookup.
+                redirects_fn=lambda: tuple(
+                    sorted(_redir._guest_redirects.items())
+                ),
+            )
+            from ..backend.pygen import set_emit_cache_budget
+
+            # The in-process emit cache shares the disk budget knob.
+            set_emit_cache_budget(options.cache_max_mb * 1024 * 1024)
         self.dispatcher = Dispatcher(
             self.transtab, self.hostcpu, options, smc_recheck=self.smc.recheck
         )

@@ -30,10 +30,13 @@ or raise an internal error — can take down the fleet:
   :func:`replay_bundle` — to the exact event/pc/instruction where the
   recording stopped.
 
-The embedding API is :func:`run_job`: one guest job in the current
-process, never raising for anything the guest or the replay layer does.
-``repro fleet`` (see :mod:`repro.cli`) is a thin verb over
-:class:`FleetSupervisor`.
+The public embedding API lives in :mod:`repro.api` (:func:`repro.api.run`
+runs one guest job in the current process, :func:`repro.api.run_fleet`
+wraps :class:`FleetSupervisor`, :func:`repro.api.replay` replays a
+bundle).  The historical deep entry points ``run_job`` and
+``replay_bundle`` on this module still resolve — via a module
+``__getattr__`` that emits a :class:`DeprecationWarning` and forwards to
+the byte-compatible :mod:`repro.api` implementations.
 """
 
 from __future__ import annotations
@@ -58,7 +61,7 @@ from ..libc.stubs import build_source
 from .errors import ExitCode
 from .faultinject import FleetInjector, InjectedJitError, InjectedPygenError
 from .options import BadOption, Options
-from .replay import EventLog, ReplayDivergence, ReplayError, ReplayFormatError
+from .replay import EventLog, ReplayFormatError
 
 #: Every state a job can end in.  The supervisor guarantees each job
 #: reaches exactly one of these.
@@ -111,96 +114,27 @@ class JobResult:
     replay_exhausted_at: Optional[Tuple[int, int, int]] = None
 
 
-def run_job(
-    program: Union[str, VxImage],
-    tool: Optional[str] = None,
-    options: Optional[Options] = None,
-    *,
-    argv: Optional[List[str]] = None,
-    stdin: bytes = b"",
-    max_blocks: Optional[int] = None,
-    on_progress=None,
-) -> JobResult:
-    """Run one guest job to a classified :class:`JobResult`.
+#: Deep entry points that moved to :mod:`repro.api`.  Resolved lazily by
+#: the module ``__getattr__`` below so old imports keep working (with a
+#: DeprecationWarning) while the implementations live in one place.
+_MOVED_TO_API = {"run_job": "run", "replay_bundle": "replay_bundle"}
 
-    This is the reusable embedding API behind both the CLI and the fleet
-    workers: *program* is a ``.s`` path or a pre-assembled image, *tool*
-    is a tool name (None = native baseline run), *on_progress* is called
-    with the guest instruction count at every dispatch-quantum boundary
-    (the fleet heartbeat).  Guest behaviour and launcher-level errors
-    both come back as a JobResult — only genuine internal bugs raise.
-    """
-    opts = options or Options()
-    if isinstance(program, VxImage):
-        image, path = program, program.name
-    else:
-        path = str(program)
-        try:
-            image = load_image(path)
-        except (OSError, AsmError) as exc:
-            return JobResult(exit_code=int(ExitCode.USAGE), error=str(exc))
-    client_argv = argv if argv is not None else [path]
 
-    want_stats = opts.stats_format == "json" or opts.stats_out is not None
+def __getattr__(name: str):
+    target = _MOVED_TO_API.get(name)
+    if target is not None:
+        import warnings
 
-    if tool is None:
-        from ..native import run_native
-
-        res = run_native(image, client_argv, stdin=stdin)
-        stats = None
-        if want_stats:
-            stats = {
-                "tool": None,
-                "native": True,
-                "exit_code": res.exit_code,
-                "guest_insns": res.guest_insns,
-            }
-            if opts.stats_out:
-                _write_json(opts.stats_out, stats)
-        return JobResult(
-            exit_code=res.exit_code,
-            stdout=res.stdout,
-            stderr=res.stderr,
-            fatal_signal=res.fatal_signal,
-            guest_insns=res.guest_insns,
-            stats=stats,
+        warnings.warn(
+            f"repro.core.supervisor.{name} is deprecated; "
+            f"use repro.api.{target} (or repro.{name})",
+            DeprecationWarning,
+            stacklevel=2,
         )
+        from .. import api
 
-    from .valgrind import Valgrind
-
-    try:
-        vg = Valgrind(tool, opts)
-    except (KeyError, ValueError) as exc:
-        return JobResult(exit_code=int(ExitCode.USAGE), error=str(exc))
-    vg.on_progress = on_progress
-    try:
-        result = vg.run(
-            image,
-            client_argv,
-            stdin=stdin,
-            max_blocks=max_blocks,
-            resolve_image=load_image,
-        )
-    except ReplayDivergence as exc:
-        return JobResult(exit_code=int(exc.exit_code), error=str(exc))
-    except (ReplayError, BadOption) as exc:
-        return JobResult(exit_code=int(ExitCode.USAGE), error=str(exc))
-    stats = result.stats() if want_stats else None
-    if stats is not None and opts.stats_out:
-        _write_json(opts.stats_out, stats)
-    return JobResult(
-        exit_code=result.exit_code,
-        stdout=result.stdout,
-        stderr=result.stderr,
-        log=result.log,
-        fatal_signal=result.outcome.fatal_signal,
-        stopped_reason=result.outcome.stopped_reason,
-        guest_insns=result.outcome.guest_insns,
-        blocks_executed=result.outcome.blocks_executed,
-        translations=result.outcome.translations,
-        stats=stats,
-        replay_exhausted_at=vg.scheduler.replay_exhausted_at,
-    )
+        return getattr(api, target)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def _write_json(path: str, payload: dict) -> None:
@@ -367,8 +301,12 @@ def _worker_run(spec, attempt, directive, bundle_path, flush_every,
             image = images[spec.program] = load_image(spec.program)
         except (OSError, AsmError):
             image = None
+    # Lazy: the facade imports this module at its top, so importing it
+    # back at ours would be circular.
+    from ..api import run
+
     beat(0)
-    result = run_job(
+    result = run(
         image if image is not None else spec.program,
         spec.tool,
         opts,
@@ -416,68 +354,6 @@ def write_bundle_manifest(state: "_JobState", log_path: str,
     path = log_path[: -len(".rrlog")] + ".bundle.json"
     _write_json(path, manifest)
     return path
-
-
-def replay_bundle(manifest_path: str) -> dict:
-    """Replay a crash bundle in this process, to the exact point the
-    recording stopped.
-
-    Returns ``{"status", "exit_code", "stopped_reason", "endpoint"}``
-    where *endpoint* is ``{"event_index", "pc", "guest_insns"}`` — the
-    precise event index, guest pc and instruction count where the log
-    ran out (or where a complete log's run exited).  ``status`` is
-    ``"replayed"``, or ``"corrupt"`` / ``"error"`` with a message.
-    """
-    try:
-        with open(manifest_path) as f:
-            manifest = json.load(f)
-    except (OSError, ValueError) as exc:
-        return {"status": "error", "error": f"unreadable manifest: {exc}"}
-    bundle_dir = os.path.dirname(os.path.abspath(manifest_path))
-    log_path = os.path.join(bundle_dir, manifest["log"])
-    try:
-        with open(log_path, "rb") as f:
-            raw = f.read()
-    except OSError as exc:
-        return {"status": "error", "error": f"unreadable log: {exc}"}
-    want = manifest.get("log_sha256")
-    if want and hashlib.sha256(raw).hexdigest() != want:
-        return {"status": "corrupt", "error": "log digest != manifest digest"}
-    try:
-        log = EventLog.from_bytes(raw)
-    except ReplayFormatError as exc:
-        return {"status": "corrupt", "error": str(exc)}
-
-    try:
-        opts = _options_from_flags(manifest.get("flags", []))
-    except BadOption as exc:
-        return {"status": "error", "error": str(exc)}
-    opts.record = None
-    opts.record_flush_every = 0
-    opts.stats_out = None
-    opts.stats_format = "json"
-    opts.replay = log_path
-    result = run_job(
-        manifest["program"],
-        manifest["tool"],
-        opts,
-        argv=[manifest["program"]] + list(manifest.get("args", [])),
-        stdin=base64.b64decode(manifest.get("stdin_b64", "")),
-        max_blocks=manifest.get("max_blocks"),
-    )
-    if result.error is not None:
-        return {"status": "error", "error": result.error,
-                "exit_code": result.exit_code}
-    if result.replay_exhausted_at is not None:
-        index, pc, insns = result.replay_exhausted_at
-    else:  # complete log: the replay ran to the recorded exit
-        index, pc, insns = len(log.events), None, result.guest_insns
-    return {
-        "status": "replayed",
-        "exit_code": result.exit_code,
-        "stopped_reason": result.stopped_reason,
-        "endpoint": {"event_index": index, "pc": pc, "guest_insns": insns},
-    }
 
 
 def corrupt_bundle_log(log_path: str) -> bool:
@@ -577,6 +453,8 @@ class FleetSupervisor:
         record_bundles: bool = True,
         record_flush_every: int = 8,
         verify_bundles: bool = False,
+        cache_dir: Optional[str] = None,
+        cache_max_mb: int = 256,
         echo=None,
     ):
         self.jobs = sorted(jobs, key=lambda s: s.job_id)
@@ -590,6 +468,25 @@ class FleetSupervisor:
         self.bundle_dir = bundle_dir
         self.record_flush_every = record_flush_every
         self.verify_bundles = verify_bundles
+        self.cache_dir = cache_dir
+        self.cache_max_mb = cache_max_mb
+        if cache_dir is not None:
+            # Pre-open the shared translation cache *before* forking any
+            # worker: directory layout and version header are created
+            # once here, so N workers race only on entry files (which
+            # are atomic), never on cache initialisation.
+            from .codecache import CodeCache
+
+            try:
+                CodeCache(cache_dir, max_mb=cache_max_mb)
+            except OSError:
+                self.cache_dir = None
+            else:
+                for spec in self.jobs:
+                    if not any(f.startswith("--cache-dir")
+                               for f in spec.flags):
+                        spec.flags.append(f"--cache-dir={cache_dir}")
+                        spec.flags.append(f"--cache-max-mb={cache_max_mb}")
         self.echo = echo or (lambda msg: None)
         self._states = {s.job_id: _JobState(s) for s in self.jobs}
         self._counters = {
@@ -838,6 +735,8 @@ class FleetSupervisor:
             return
         state.bundle_status = "ok"
         if self.verify_bundles:
+            from ..api import replay_bundle  # lazy: avoids an import cycle
+
             try:
                 state.bundle_replay = replay_bundle(state.bundle)
             except Exception as exc:  # forensics must not kill the fleet
@@ -889,6 +788,7 @@ class FleetSupervisor:
                 "max_retries": self.policy.max_retries,
                 "jit_degrade_after": self.policy.jit_degrade_after,
                 "inject": self.injector.spec if self.injector else None,
+                "cache_dir": self.cache_dir,
             },
             "jobs": jobs_out,
             "summary": {

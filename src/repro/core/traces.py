@@ -53,6 +53,7 @@ over the retranslated code.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..frontend.spec import vx32_spec_helper
@@ -101,9 +102,23 @@ VG_TRACE_RET = "vg_trace_ret"
 
 #: Process-wide cache: sha1 of stitched pre-opt IR -> (host code bytes,
 #: n_blocks, total_insns).  See the content-addressing note in
-#: :meth:`TraceManager._build`.
-_BUILD_CACHE: Dict[bytes, Tuple[bytes, int, int]] = {}
+#: :meth:`TraceManager._build`.  LRU-bounded (entries never go stale —
+#: content addressing — so eviction is purely a memory bound), and
+#: round-tripped through the persistent code cache when one is bound
+#: (core.codecache), so re-recorded traces skip the build across
+#: processes too.
+_BUILD_CACHE: "OrderedDict[bytes, Tuple[bytes, int, int]]" = OrderedDict()
 _BUILD_CACHE_MAX = 4096
+_BUILD_CACHE_STATS = {"hits": 0, "misses": 0, "evictions": 0}
+
+
+def _build_cache_put(sig: bytes, hit: Tuple[bytes, int, int]) -> None:
+    if sig in _BUILD_CACHE:
+        return
+    _BUILD_CACHE[sig] = hit
+    while len(_BUILD_CACHE) > _BUILD_CACHE_MAX:
+        _BUILD_CACHE.popitem(last=False)
+        _BUILD_CACHE_STATS["evictions"] += 1
 
 #: Quality-probation window: once a trace has run this many times, any
 #: further side exit re-checks whether runs retire on average at least
@@ -474,7 +489,17 @@ class TraceManager:
             (sorted(trace.tyenv.items()), trace.next, trace.jumpkind,
              trace.stmts),
         )).digest()
+        disk = getattr(self.hostcpu, "codecache", None)
         hit = _BUILD_CACHE.get(sig)
+        if hit is not None:
+            _BUILD_CACHE.move_to_end(sig)
+            _BUILD_CACHE_STATS["hits"] += 1
+        else:
+            _BUILD_CACHE_STATS["misses"] += 1
+            if disk is not None:
+                hit = disk.load_trace(sig)
+                if hit is not None:
+                    _build_cache_put(sig, hit)
         if hit is not None:
             code, n_blocks, total_insns = hit
         else:
@@ -502,9 +527,9 @@ class TraceManager:
             vcode = select(tree)
             hcode, _alloc = allocate(vcode, regfile=TRACE_REGFILE)
             code = encode_insns(hcode)
-            if len(_BUILD_CACHE) >= _BUILD_CACHE_MAX:
-                _BUILD_CACHE.clear()
-            _BUILD_CACHE[sig] = (code, n_blocks, total_insns)
+            _build_cache_put(sig, (code, n_blocks, total_insns))
+            if disk is not None:
+                disk.store_trace(sig, code, n_blocks, total_insns)
 
         ranges: List[Tuple[int, int]] = []
         for _m, _sb, r in parts[:n_blocks]:
@@ -595,6 +620,10 @@ class TraceManager:
             "blocks_retired": self.blocks_retired,
             "insns_retired": self.insns_retired,
             "compile_seconds": self.compile_seconds,
+            "build_cache": {
+                **_BUILD_CACHE_STATS,
+                "entries": len(_BUILD_CACHE),
+            },
         }
 
 

@@ -207,10 +207,27 @@ class Translator:
         #: instruction selection; may raise to simulate an internal JIT
         #: failure (exercises the quarantine path).
         self.fail_hook: Optional[Callable[[int], None]] = None
+        #: Persistent translation cache view (core.codecache), bound by
+        #: the scheduler under --cache-dir; None runs every block through
+        #: the full pipeline.
+        self.cache = None
 
     def translate(self, addr: int) -> Translation:
         """Translate the code block at guest address *addr*."""
         opts = self.options
+        if self.cache is not None:
+            hit = self.cache.lookup(addr, self._fetch)
+            if hit is not None:
+                # The fail hook fires exactly once per translate() on the
+                # cold path (just before isel), so it must fire on the hit
+                # path too: --inject=isel@N plans and chaos/replay runs
+                # stay deterministic warm vs cold.  A raise here follows
+                # the same quarantine route as a cold pipeline failure —
+                # before the entry is consumed or counted.
+                if self.fail_hook is not None:
+                    self.fail_hook(addr)
+                self.translations_made += 1
+                return self._from_cache(addr, hit, opts)
         stats = TranslationStats()
         times = stats.phase_seconds
         clock = time.perf_counter if self.collect_phase_times else None
@@ -296,6 +313,15 @@ class Translator:
             smc_hash = hash_guest_ranges(self._fetch, ranges)
 
         self.translations_made += 1
+        if self.cache is not None:
+            from dataclasses import replace as _dc_replace
+
+            # Phase timings are wall-clock noise; persist the structural
+            # counters only, so warm and cold entries are byte-identical.
+            self.cache.store(
+                addr, self._fetch, code=code, ranges=ranges, irsb=sb,
+                stats=_dc_replace(stats, phase_seconds={}),
+            )
         return Translation(
             guest_addr=addr,
             code=code,
@@ -305,6 +331,29 @@ class Translator:
             # Traces mode keeps the flat instrumented IR so the stitcher
             # reuses it instead of re-running Phases 1-4 per member.
             irsb=sb if opts.codegen == "traces" else None,
+        )
+
+    def _from_cache(self, addr: int, hit: dict, opts: Options) -> Translation:
+        """Materialize a Translation from a verified cache entry.
+
+        The entry's guest bytes were already re-fetched and digest-checked
+        by the lookup, which also recomputed ``smc_crc`` from those exact
+        bytes — so the SMC hash matches what a cold translation of the
+        current memory image would have produced.
+        """
+        smc_hash = None
+        if opts.smc_check != "none" or opts.codegen == "traces":
+            smc_hash = hit["smc_crc"]
+        stats = hit.get("stats")
+        if not isinstance(stats, TranslationStats):
+            stats = TranslationStats()
+        return Translation(
+            guest_addr=addr,
+            code=hit["code"],
+            ranges=hit["ranges"],
+            smc_hash=smc_hash,
+            stats=stats,
+            irsb=hit["irsb"] if opts.codegen == "traces" else None,
         )
 
     def front_ir(self, addr: int) -> Tuple[IRSB, Tuple[Tuple[int, int], ...], int]:

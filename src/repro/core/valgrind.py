@@ -178,6 +178,8 @@ class Valgrind:
                 "injection": sched.injector.stats() if sched.injector else None,
             },
             "replay": sched.rr.stats_dict() if sched.rr is not None else None,
+            "cache": (sched.codecache.stats_dict()
+                      if sched.codecache is not None else None),
         }
         if outcome is not None:
             out["exit_code"] = outcome.exit_code

@@ -18,6 +18,11 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
+#: Frontend/specialisation version, part of the persistent code cache's
+#: context key (core.codecache): bump on any change to disassembly or
+#: the partial-evaluation rules that alters translation output.
+SPEC_VERSION = 1
+
 from ..guest import regs as R
 from ..ir.expr import Binop, Const, Expr, Unop, c32
 from ..ir.types import Ty

@@ -1,0 +1,387 @@
+"""The persistent cross-process translation cache (``--cache-dir``).
+
+The contract under test is strict: a cache can make a run *faster*,
+never *different*.  Warm runs must be byte-identical to cold runs across
+every codegen tier, any damaged or stale entry must degrade to a miss
+(quarantined, counted), version bumps must orphan old entries, the size
+budget must hold via LRU eviction, and a fleet of concurrent workers
+hammered by kill plans must never leave a corrupt entry behind.
+"""
+
+from __future__ import annotations
+
+import os
+import zlib
+
+import pytest
+
+import repro
+from repro import api
+from repro.backend import pygen as _pygen
+from repro.core import traces as _traces
+from repro.core.codecache import CACHE_FORMAT_VERSION, CodeCache
+
+from .helpers import asm_image, vg
+
+#: Several distinct blocks, a hot loop, and float traffic — enough to
+#: exercise disasm chasing, instrumentation, and the pygen emitter.
+SRC = """
+        .text
+main:   movi r6, 0
+        movi r7, 60
+loop:   add  r6, r7
+        dec  r7
+        jnz  loop
+        push r6
+        call putint
+        addi sp, 4
+        movi r0, 0
+        push r0
+        call exit
+"""
+
+
+def run_cached(cache_dir, tool="memcheck", src=SRC, **kw):
+    kw.setdefault("stats_format", "json")
+    # Explicit always (None = disabled), overriding any REPRO_CACHE_DIR
+    # ambient default — these tests control their own cache directories.
+    kw.setdefault("cache_dir",
+                  str(cache_dir) if cache_dir is not None else None)
+    opts = repro.Options(log_target="capture", **kw)
+    return vg(src, tool, options=opts)
+
+
+def assert_same_run(a, b):
+    assert a.exit_code == b.exit_code
+    assert a.stdout == b.stdout
+    assert a.stderr == b.stderr
+    assert a.log == b.log
+
+
+def drop_in_memory_caches():
+    """Forget every in-process translation product, so the next run must
+    go through the disk cache (simulating a fresh process)."""
+    _pygen.clear_emit_cache()
+    _traces._BUILD_CACHE.clear()
+
+
+class TestWarmEqualsCold:
+    @pytest.mark.parametrize("tool", ["none", "memcheck", "cachegrind"])
+    @pytest.mark.parametrize("codegen", ["closures", "pygen", "traces"])
+    def test_warm_byte_identical(self, tmp_path, tool, codegen):
+        cold = run_cached(tmp_path, tool, codegen=codegen,
+                          trace_threshold=5)
+        drop_in_memory_caches()
+        warm = run_cached(tmp_path, tool, codegen=codegen,
+                          trace_threshold=5)
+        assert_same_run(cold, warm)
+        cache = warm.stats()["cache"]
+        assert cache["hits"] > 0
+        assert cache["misses"] == 0
+        assert cache["quarantined"] == 0
+
+    def test_nocache_equals_cached(self, tmp_path):
+        plain = run_cached(None, codegen="pygen")
+        cold = run_cached(tmp_path, codegen="pygen")
+        drop_in_memory_caches()
+        warm = run_cached(tmp_path, codegen="pygen")
+        assert_same_run(plain, cold)
+        assert_same_run(plain, warm)
+        assert plain.stats()["cache"] is None
+
+    def test_warm_skips_translation_work(self, tmp_path):
+        cold = run_cached(tmp_path, codegen="pygen")
+        warm = run_cached(tmp_path, codegen="pygen")
+        assert cold.stats()["cache"]["stores"] > 0
+        c = warm.stats()["cache"]
+        assert c["hits"] == cold.stats()["cache"]["misses"]
+        # Translation counts stay identical — a hit still *counts* as a
+        # translation (determinism for --inject schedules), it just
+        # skips the pipeline.
+        assert (warm.stats()["translations_made"]
+                == cold.stats()["translations_made"])
+
+    def test_different_tool_does_not_share(self, tmp_path):
+        run_cached(tmp_path, "memcheck")
+        warm = run_cached(tmp_path, "cachegrind")
+        assert warm.stats()["cache"]["hits"] == 0
+
+    def test_errors_identical_warm(self, tmp_path):
+        bad = """
+        .text
+main:   movi r1, 64
+        ld   r2, [r1]
+        movi r0, 0
+        push r0
+        call exit
+"""
+        cold = run_cached(tmp_path, "memcheck", src=bad)
+        warm = run_cached(tmp_path, "memcheck", src=bad)
+        assert_same_run(cold, warm)
+        assert ([e.kind for e in cold.errors]
+                == [e.kind for e in warm.errors])
+
+
+class TestInvalidation:
+    def test_version_bump_invalidates(self, tmp_path, monkeypatch):
+        run_cached(tmp_path)
+        import repro.frontend.spec as spec
+
+        monkeypatch.setattr(spec, "SPEC_VERSION", spec.SPEC_VERSION + 1)
+        warm = run_cached(tmp_path)
+        c = warm.stats()["cache"]
+        assert c["hits"] == 0 and c["misses"] > 0
+
+    def test_tool_options_invalidate(self, tmp_path):
+        run_cached(tmp_path, "taintcheck", codegen="pygen")
+        warm = run_cached(tmp_path, "taintcheck", codegen="pygen",
+                          tool_options=["--taint-addr=no"])
+        assert warm.stats()["cache"]["hits"] == 0
+
+    def test_guest_bytes_verified(self, tmp_path):
+        """Two different programs assembling blocks at the same address
+        must not share entries: the guest-byte digest re-check makes the
+        stale entry a miss, never a wrong translation."""
+        other = SRC.replace("movi r7, 60", "movi r7, 61")
+        a = run_cached(tmp_path, src=SRC)
+        b = run_cached(tmp_path, src=other)
+        plain = run_cached(None, src=other)
+        assert_same_run(b, plain)
+        # Shared blocks (libc prelude) may hit; the changed block cannot.
+        assert b.stats()["cache"]["stores"] > 0
+
+
+class TestCorruption:
+    def _entries(self, tmp_path):
+        base = tmp_path / f"v{CACHE_FORMAT_VERSION}"
+        out = []
+        for sub in ("t", "p", "x"):
+            for dirpath, _dirs, files in os.walk(base / sub):
+                out += [os.path.join(dirpath, f) for f in files]
+        return out
+
+    def test_tampered_entry_quarantined(self, tmp_path):
+        cold = run_cached(tmp_path, codegen="pygen")
+        entries = self._entries(tmp_path)
+        assert entries
+        for path in entries:  # flip one byte in every entry payload
+            with open(path, "rb") as f:
+                raw = bytearray(f.read())
+            raw[len(raw) // 2] ^= 0xFF
+            with open(path, "wb") as f:
+                f.write(bytes(raw))
+        drop_in_memory_caches()
+        warm = run_cached(tmp_path, codegen="pygen")
+        assert_same_run(cold, warm)
+        c = warm.stats()["cache"]
+        assert c["quarantined"] > 0
+        assert c["hits"] == 0
+        qdir = tmp_path / f"v{CACHE_FORMAT_VERSION}" / "quarantine"
+        assert any(qdir.iterdir())
+
+    def test_truncated_entry_quarantined(self, tmp_path):
+        cold = run_cached(tmp_path)
+        path = self._entries(tmp_path)[0]
+        with open(path, "wb") as f:
+            f.write(b"RC")  # shorter than the header
+        warm = run_cached(tmp_path)
+        assert_same_run(cold, warm)
+        assert warm.stats()["cache"]["quarantined"] >= 1
+
+    def test_unreadable_cache_dir_disables_cache(self, tmp_path):
+        target = tmp_path / "blocked"
+        target.write_text("a file where the cache dir should go\n")
+        res = run_cached(target)  # OSError on open -> cache disabled
+        assert res.exit_code == 0
+        assert res.stats()["cache"] is None
+
+
+class TestBudget:
+    def test_lru_eviction(self, tmp_path):
+        cache = CodeCache(str(tmp_path), max_mb=1)
+        blob = os.urandom(200 * 1024)
+
+        def fetch(start, length):
+            return blob[start:start + length]
+
+        stored = 0
+        for i in range(30):  # ~6MB through a 1MB budget
+            cache.store_translation(
+                b"\x01" * 32, 0x1000 + i, fetch,
+                code=blob, ranges=((i, 1024),), irsb=None, stats=None,
+            )
+            stored += 1
+        assert cache.stats.evictions > 0
+        assert cache.stats.evicted_bytes > 0
+        cache._enforce_budget()  # settle the periodic check interval
+        total = 0
+        for dirpath, _dirs, files in os.walk(tmp_path):
+            for f in files:
+                total += os.path.getsize(os.path.join(dirpath, f))
+        assert total <= cache.max_bytes + 256 * 1024  # budget + 1 entry
+
+    def test_recent_entries_survive(self, tmp_path):
+        cache = CodeCache(str(tmp_path), max_mb=1)
+        raw = os.urandom(300 * 1024)
+
+        def fetch(start, length):
+            return raw[start:start + length]
+
+        now = 1_700_000_000
+        for i in range(20):
+            cache.store_translation(
+                b"\x02" * 32, 0x2000 + i, fetch,
+                code=raw, ranges=((i, 64),), irsb=None, stats=None,
+            )
+            # Deterministic mtimes: later stores look more recent.
+            d = cache._t_dir(b"\x02" * 32)
+            name = cache._t_index[d][0x2000 + i][0]
+            os.utime(os.path.join(d, name), (now + i, now + i))
+        cache._enforce_budget()
+        hit = cache.lookup_translation(b"\x02" * 32, 0x2000 + 19, fetch)
+        assert hit is not None  # newest survived
+        assert cache.lookup_translation(b"\x02" * 32, 0x2000, fetch) is None
+
+    def test_emit_cache_lru_counts_evictions(self):
+        budget = _pygen._EMIT_CACHE_BUDGET
+        stats0 = dict(_pygen._EMIT_CACHE_STATS)
+        try:
+            _pygen.set_emit_cache_budget(2048)
+            # cache_dir=None: with a disk cache open the scheduler would
+            # re-plumb the budget from --cache-max-mb, masking ours.
+            vg(SRC, "memcheck", codegen="pygen", cache_dir=None)
+            s = _pygen.emit_cache_stats()
+            assert s["evictions"] > stats0.get("evictions", 0)
+            assert s["bytes"] <= 2048
+        finally:
+            _pygen.set_emit_cache_budget(budget)
+
+    def test_emit_cache_stats_in_codegen_section(self, tmp_path):
+        res = run_cached(tmp_path, codegen="pygen")
+        emit = res.stats()["codegen"]["emit_cache"]
+        assert {"hits", "misses", "evictions", "entries",
+                "bytes"} <= set(emit)
+
+
+class TestConcurrentFleet:
+    def test_kill_hammered_fleet_never_corrupts(self, tmp_path):
+        """Workers SIGKILLed mid-run while sharing one cache directory:
+        survivors and the follow-up warm run must still be byte-correct,
+        and no entry may be quarantined afterwards (atomic writes mean a
+        killed writer leaves at worst an orphaned temp file)."""
+        program = str(tmp_path / "prog.s")
+        with open(program, "w") as f:
+            f.write("""\
+main:
+        movi r0, 600
+loop:
+        sub  r0, 1
+        jnz  loop
+        movi r0, 7
+        ret
+""")
+        cache_dir = str(tmp_path / "cache")
+        jobs = [
+            api.JobSpec(job_id=i, program=program, tool="none",
+                        flags=["--codegen=pygen", "--stats=json"])
+            for i in range(8)
+        ]
+        report = api.run_fleet(
+            jobs,
+            workers=3,
+            policy=api.RetryPolicy(max_retries=3, backoff_base=0.01,
+                                   seed=11),
+            inject="kill:0.3,seed=11",
+            record_bundles=False,
+            cache_dir=cache_dir,
+            cache_max_mb=64,
+        )
+        assert report.summary["terminal-failure"] == 0
+
+        plain = run_cached(None, "none", codegen="pygen",
+                           src="""
+        .text
+main:   movi r0, 600
+loop:   sub  r0, 1
+        jnz  loop
+        movi r0, 7
+        push r0
+        call exit
+""")
+        # The real check: a warm in-process run over the hammered cache.
+        opts = repro.Options(log_target="capture", stats_format="json",
+                             cache_dir=cache_dir, codegen="pygen")
+        warm = api.run(program, "none", opts, argv=[program])
+        assert warm.exit_code == 7
+        assert warm.stats["cache"]["quarantined"] == 0
+        assert warm.stats["cache"]["hits"] > 0
+
+    def test_fleet_aggregates_cache_stats(self, tmp_path):
+        program = str(tmp_path / "prog.s")
+        with open(program, "w") as f:
+            f.write("main:\n        movi r0, 7\n        ret\n")
+        cache_dir = str(tmp_path / "cache")
+
+        def fleet():
+            return api.run_fleet(
+                [program] * 4, tool="none",
+                flags=["--stats=json"], workers=2,
+                record_bundles=False, cache_dir=cache_dir,
+            )
+
+        fleet()
+        warm = fleet()
+        assert warm.cache is not None
+        assert warm.cache["hits"] > 0  # fleet-aggregated, across workers
+
+    def test_supervisor_injects_cache_flags_once(self, tmp_path):
+        spec = api.JobSpec(job_id=0, program="x.s", tool="none",
+                           flags=["--cache-dir=/elsewhere"])
+        sup = api.FleetSupervisor(
+            [spec], cache_dir=str(tmp_path), record_bundles=False,
+        )
+        assert spec.flags.count("--cache-dir=/elsewhere") == 1
+        assert not any(f == f"--cache-dir={tmp_path}" for f in spec.flags)
+        spec2 = api.JobSpec(job_id=0, program="x.s", tool="none")
+        api.FleetSupervisor([spec2], cache_dir=str(tmp_path),
+                            record_bundles=False)
+        assert f"--cache-dir={tmp_path}" in spec2.flags
+
+
+class TestSmcInteraction:
+    def test_smc_crc_recomputed_on_hit(self, tmp_path):
+        """A hit's SMC hash comes from the *re-fetched* bytes, so the
+        stored entry can never carry a stale CRC."""
+        cache = CodeCache(str(tmp_path))
+        raw = b"\x90" * 64
+
+        def fetch(start, length):
+            return raw[start:start + length]
+
+        cache.store_translation(
+            b"\x03" * 32, 0x3000, fetch,
+            code=b"CODE", ranges=((0, 64),), irsb=None, stats=None,
+        )
+        hit = cache.lookup_translation(b"\x03" * 32, 0x3000, fetch)
+        assert hit is not None
+        assert hit["smc_crc"] == zlib.crc32(raw)
+
+    def test_smc_warm_run_identical(self, tmp_path):
+        smc = """
+        .text
+main:   movi r6, 0
+        movi r7, 10
+loop:   add  r6, r7
+        dec  r7
+        jnz  loop
+        push r6
+        call putint
+        movi r0, 0
+        push r0
+        call exit
+"""
+        cold = run_cached(tmp_path, "memcheck", src=smc, smc_check="all")
+        warm = run_cached(tmp_path, "memcheck", src=smc, smc_check="all")
+        assert_same_run(cold, warm)
+        assert warm.stats()["cache"]["hits"] > 0
+        assert warm.stats()["smc"]["checks"] == cold.stats()["smc"]["checks"]

@@ -19,18 +19,20 @@ from repro.cli import main as cli_main
 from repro.core.errors import ExitCode
 from repro.core.faultinject import BadInjectSpec, FleetInjector
 from repro.core.replay import EV_EXIT, EventLog
-from repro.core.supervisor import (
-    TERMINAL_STATES,
+from repro.api import (
     FleetSupervisor,
     JobResult,
     JobSpec,
     RetryPolicy,
     WatchdogConfig,
+    replay_bundle,
+)
+from repro.api import run as run_job
+from repro.core.supervisor import (
+    TERMINAL_STATES,
     corrupt_bundle_log,
     merge_stats,
     normalize_report,
-    replay_bundle,
-    run_job,
 )
 from repro.guest.program import VxImage
 
