@@ -15,9 +15,10 @@ workloads (the Table 2 subset used by ``bench_dispatcher``):
   ``--jit-threshold`` executions.
 
 Gate: pygen must clear a 2x blocks/sec geomean over perf for Nulgrind
-(1.2x for Memcheck), with byte-identical output everywhere.  Results are
-also written machine-readable to ``BENCH_codegen.json`` at the repo
-root for trend tracking across PRs.
+(1.6x for Memcheck, which leans on the inlined LOADV/STOREV fast paths
+— see ``--memcheck-fastpath``), with byte-identical output everywhere.
+Results are also written machine-readable to ``BENCH_codegen.json`` at
+the repo root for trend tracking across PRs.
 """
 
 import json
@@ -140,10 +141,10 @@ def test_codegen_tiers(benchmark, capsys):
     # full bands apply at the default scale and above.
     if CG_SCALE >= 0.2:
         assert gm_nulgrind >= 2.0, gm_nulgrind
-        assert gm_memcheck >= 1.2, gm_memcheck
+        assert gm_memcheck >= 1.6, gm_memcheck
     else:
         assert gm_nulgrind >= 1.2, gm_nulgrind
-        assert gm_memcheck >= 1.05, gm_memcheck
+        assert gm_memcheck >= 1.2, gm_memcheck
     # auto must eventually reach pygen-tier throughput territory: better
     # than plain perf on the Nulgrind rows.
     auto = geomean([

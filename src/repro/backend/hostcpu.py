@@ -22,6 +22,7 @@ from ..ir.ops import get_op
 from ..ir.types import Ty
 from ..ir.values import from_bytes, to_bytes
 from ..kernel.memory import GuestMemory
+from .isel import MC_LOADV_SIZES, MC_STOREV_SIZES
 from .hostisa import (
     BIN,
     CALL,
@@ -160,6 +161,17 @@ class HostCPU:
         #: under --cache-dir: compile_pygen_code and the trace builder
         #: round-trip their content-addressed payloads through it.
         self.codecache = None
+        #: Memcheck shadow fast paths (backend.isel tables): the
+        #: scheduler binds the tool's shadow page-map accessors here
+        #: before any block compiles; pygen-emitted code closes over
+        #: them as ``_vsg``/``_vsw``, and the closure tier's CALL
+        #: builder wraps matching helpers in the same inline probe.
+        #: ``shadow_counters`` is [fast_loads, fast_stores, slow_loads,
+        #: slow_stores], bumped by the inlined fast paths only.
+        self.shadow_fastpath = False
+        self.shadow_rd_get = None
+        self.shadow_wr_get = None
+        self.shadow_counters = [0, 0, 0, 0]
 
     # -- compilation -------------------------------------------------------------
 
@@ -381,6 +393,58 @@ class HostCPU:
                 if dfile is not None:
                     dfile[dn] = ret
                 return None
+
+            # Memcheck LOADV/STOREV fast path (tables in backend.isel,
+            # same shape as the pygen-emitted one): probe the shadow
+            # read/write map, check the range's A bits, slice the V
+            # bytes — skipping the caller-save sequence and the helper
+            # body entirely.  Page miss, page cross, or any
+            # unaddressable byte (the error-reporting path) falls into
+            # the generic call above.  Argument getters are pure
+            # register/slot/imm reads, so the slow path may re-read
+            # them.
+            if dirty and guard is None and cpu.shadow_fastpath:
+                mc_load = MC_LOADV_SIZES.get(insn.helper)
+                mc_store = MC_STOREV_SIZES.get(insn.helper)
+                counters = cpu.shadow_counters
+                if (mc_load is not None and dfile is not None
+                        and len(getters) == 1):
+                    size, last = mc_load, 4096 - mc_load
+                    g0, rd_get, slow = getters[0], cpu.shadow_rd_get, run
+
+                    def run():
+                        a = g0() & 0xFFFFFFFF
+                        o = a & 4095
+                        if o <= last:
+                            sp = rd_get(a >> 12)
+                            if sp is not None and 0 not in sp[0][o : o + size]:
+                                dfile[dn] = int.from_bytes(
+                                    sp[1][o : o + size], "little"
+                                )
+                                counters[0] += 1
+                                return None
+                        counters[2] += 1
+                        return slow()
+
+                elif (mc_store is not None and dfile is None
+                        and len(getters) == 2):
+                    size, last = mc_store, 4096 - mc_store
+                    g0, g1 = getters
+                    wr_get, slow = cpu.shadow_wr_get, run
+
+                    def run():
+                        a = g0() & 0xFFFFFFFF
+                        o = a & 4095
+                        if o <= last:
+                            sp = wr_get(a >> 12)
+                            if sp is not None and 0 not in sp[0][o : o + size]:
+                                sp[1][o : o + size] = g1().to_bytes(
+                                    size, "little"
+                                )
+                                counters[1] += 1
+                                return None
+                        counters[3] += 1
+                        return slow()
 
             return run
         if isinstance(insn, SIDEEXIT):

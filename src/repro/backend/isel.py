@@ -37,6 +37,38 @@ from .hostisa import (
 )
 
 
+#: Wellknown Memcheck dirty helpers (a contract with
+#: tools/memcheck/instrument.py, cross-checked by
+#: tests/test_shadow_properties.py).  A ``Dirty`` statement naming one
+#: of these lowers to an ordinary CALL, but both execution back-ends —
+#: the per-insn closure engine (backend.hostcpu) and the pygen emitter
+#: (backend.pygen) — recognise the names and inline the paper's
+#: Section-4 V-bit fast path for within-page 1/2/4-byte accesses,
+#: calling the helper only on page miss, page cross, or an
+#: unaddressable byte (the error-reporting path).
+MC_LOADV_SIZES = {
+    "helperc_LOADV8le": 1,
+    "helperc_LOADV16le": 2,
+    "helperc_LOADV32le": 4,
+}
+MC_STOREV_SIZES = {
+    "helperc_STOREV8le": 1,
+    "helperc_STOREV16le": 2,
+    "helperc_STOREV32le": 4,
+}
+
+#: Memcheck dirty helpers that only read guest state (SP/PC for error
+#: reports) and never write it; back-ends may keep guest-state
+#: forwarding live across a call to one of these.
+MC_NO_STATE_WRITE = frozenset(MC_LOADV_SIZES) | frozenset(MC_STOREV_SIZES) | {
+    "helperc_LOADV64le", "helperc_LOADV128le",
+    "helperc_STOREV64le", "helperc_STOREV128le",
+    "helperc_value_check0_fail", "helperc_value_check1_fail",
+    "helperc_value_check2_fail", "helperc_value_check4_fail",
+    "helperc_value_check8_fail",
+}
+
+
 class ISelError(Exception):
     pass
 

@@ -50,6 +50,7 @@ from ..guest.regs import GUEST_STATE_SIZE, OFFSET_PC
 from ..ir.ops import get_op
 from ..ir.types import Ty
 from ..kernel.memory import PROT_READ, PROT_WRITE
+from .isel import MC_LOADV_SIZES, MC_NO_STATE_WRITE, MC_STOREV_SIZES
 from .hostisa import (
     BIN,
     CALL,
@@ -80,7 +81,7 @@ from .hostcpu import OP_INLINE
 #: Emission format version, part of the persistent code cache's pygen
 #: payload key (core.codecache): bump on any change to emit_pygen output
 #: or the spec entry shapes.
-PYGEN_EMIT_VERSION = 1
+PYGEN_EMIT_VERSION = 2
 
 #: Process-wide pygen source -> code object cache (cf. _RUNNER_SRC_CACHE).
 _PYGEN_SRC_CACHE: Dict[str, object] = {}
@@ -277,11 +278,13 @@ def build_pygen_runner(cpu, insns: Sequence[HInsn]) -> Callable:
     Returns ``runner(ts) -> (jump-kind, guest_insns)``, semantically
     identical to ``cpu.run(cpu.compile(code), ts)``.
     """
-    src, spec = emit_pygen(insns)
+    src, spec = emit_pygen(
+        insns, fastpath=bool(getattr(cpu, "shadow_fastpath", False))
+    )
     return bind_pygen(cpu, src, spec)
 
 
-def emit_pygen(insns: Sequence[HInsn]) -> Tuple[str, tuple]:
+def emit_pygen(insns: Sequence[HInsn], fastpath: bool = False) -> Tuple[str, tuple]:
     """Emit the specialized source for a decoded block — no cpu needed.
 
     Returns ``(src, spec)`` where *spec* lists how to rebuild the env a
@@ -290,8 +293,20 @@ def emit_pygen(insns: Sequence[HInsn]) -> Tuple[str, tuple]:
     functions, exit tuples, Ty values, float literals); ``("helper",
     name, helper_name)`` and ``("attr", name, cpu_attr)`` entries name
     per-run objects :func:`bind_pygen` resolves against its cpu.
-    Emission is deterministic in *insns*, which makes (src, spec)
-    cacheable process-wide by the encoded code bytes.
+    Emission is deterministic in *(insns, fastpath)*, which makes
+    (src, spec) cacheable process-wide by the encoded code bytes (plus
+    the fastpath variant bit).
+
+    With *fastpath* set, dirty CALLs to Memcheck's 1/2/4-byte
+    LOADV/STOREV helpers are emitted as inline shadow accesses: one
+    probe of the bound shadow-page dict (``_vsg``/``_vsw``, resolved to
+    the tool's all-addressable page maps via ``cpu.shadow_rd_get`` /
+    ``cpu.shadow_wr_get``), a V-byte slice read/write, and a guarded
+    slow-path helper call only on page-miss/page-cross.  The fast hit
+    cannot report an error (its pages are fully addressable by map
+    invariant) and never mutates A bits or page states, so tool output
+    is byte-identical to the helper-only emission; ``_shc``
+    (``cpu.shadow_counters``) counts fast/slow hits for --stats=json.
     """
     env: Dict[str, object] = dict.fromkeys(_ENV_HEAD)
     spec: List[tuple] = []
@@ -568,11 +583,6 @@ def emit_pygen(insns: Sequence[HInsn]) -> Tuple[str, tuple]:
             emit(f"{_reg(insn.dst)} = {_reg(insn.a)} if {_reg(insn.cond)}"
                  f" else {_reg(insn.b)}")
         elif isinstance(insn, CALL):
-            fname = bind_helper(insn.helper)
-            if insn.dirty:
-                # The helper may read or write guest state out-of-band:
-                # commit every pending store first, forget everything after.
-                flush_dirty()
             args = []
             for a in insn.args:
                 if isinstance(a, Reg):
@@ -581,19 +591,94 @@ def emit_pygen(insns: Sequence[HInsn]) -> Tuple[str, tuple]:
                     args.append(_slot(a.n))
                 else:  # ImmArg
                     args.append(lit(a.value))
-            if insn.dirty:
+            mc_load = MC_LOADV_SIZES.get(insn.helper) if fastpath else None
+            mc_store = MC_STOREV_SIZES.get(insn.helper) if fastpath else None
+            fname = bind_helper(insn.helper)
+            if (mc_load is not None and insn.dirty and insn.guard is None
+                    and insn.dst is not None and len(args) == 1):
+                # Inline LOADV: probe the read map for the (abits,
+                # vbits) secondary, check the accessed range's A bits
+                # inline, slice the V bytes.  Any unaddressable byte
+                # (that is the error-reporting path) or page miss/cross
+                # falls back to the helper; pending guest-state
+                # writebacks flush only on the slow branch (the helper
+                # may symbolise SP/PC for a report).
                 need("_env", "env")
-                call = f"{fname}(_env{''.join(', ' + a for a in args)})"
+                need("_vsg", "shadow_rd_get")
+                need("_shc", "shadow_counters")
+                size, dst = mc_load, _reg(insn.dst)
+                emit(f"_a = {args[0]} & 4294967295")
+                emit("_o = _a & 4095")
+                if size == 1:
+                    emit("_sp = _vsg(_a >> 12)")
+                    emit("if _sp is not None and _sp[0][_o]:")
+                    emit(f"{dst} = _sp[1][_o]", 1)
+                else:
+                    emit(f"_sp = _vsg(_a >> 12) if _o <= {4096 - size}"
+                         " else None")
+                    emit(f"if _sp is not None and"
+                         f" 0 not in _sp[0][_o:_o + {size}]:")
+                    emit(f"{dst} = _ifb(_sp[1][_o:_o + {size}], 'little')",
+                         1)
+                emit("_shc[0] += 1", 1)
+                emit("else:")
+                emit("_shc[2] += 1", 1)
+                flush_dirty(depth=1, keep_pending=True)
+                emit(f"{dst} = {fname}(_env, _a)", 1)
+            elif (mc_store is not None and insn.dirty and insn.guard is None
+                    and insn.dst is None and len(args) == 2):
+                # Inline STOREV: the write map only holds *private*
+                # secondaries, so the slice write can never touch a
+                # shared distinguished page — copy-on-write promotion
+                # stays in the helper, keeping page-state stats
+                # identical with the fast path on or off.  The inline
+                # A-bit check routes partially-addressable ranges (the
+                # error path) to the helper.
+                need("_env", "env")
+                need("_vsw", "shadow_wr_get")
+                need("_shc", "shadow_counters")
+                size, val = mc_store, args[1]
+                emit(f"_a = {args[0]} & 4294967295")
+                emit("_o = _a & 4095")
+                if size == 1:
+                    emit("_sp = _vsw(_a >> 12)")
+                    emit("if _sp is not None and _sp[0][_o]:")
+                    emit(f"_sp[1][_o:_o + 1] = ({val}).to_bytes(1,"
+                         " 'little')", 1)
+                else:
+                    emit(f"_sp = _vsw(_a >> 12) if _o <= {4096 - size}"
+                         " else None")
+                    emit(f"if _sp is not None and"
+                         f" 0 not in _sp[0][_o:_o + {size}]:")
+                    emit(f"_sp[1][_o:_o + {size}] = ({val}).to_bytes({size},"
+                         " 'little')", 1)
+                emit("_shc[1] += 1", 1)
+                emit("else:")
+                emit("_shc[3] += 1", 1)
+                flush_dirty(depth=1, keep_pending=True)
+                emit(f"{fname}(_env, _a, {val})", 1)
             else:
-                call = f"{fname}({', '.join(args)})"
-            line = f"{_reg(insn.dst)} = {call}" if insn.dst is not None else call
-            if insn.guard is not None:
-                emit(f"if {_reg(insn.guard)}:")
-                emit(line, 1)
-            else:
-                emit(line)
-            if insn.dirty:
-                known.clear()
+                if insn.dirty:
+                    # The helper may read or write guest state out-of-band:
+                    # commit every pending store first.
+                    flush_dirty()
+                if insn.dirty:
+                    need("_env", "env")
+                    call = f"{fname}(_env{''.join(', ' + a for a in args)})"
+                else:
+                    call = f"{fname}({', '.join(args)})"
+                line = (f"{_reg(insn.dst)} = {call}"
+                        if insn.dst is not None else call)
+                if insn.guard is not None:
+                    emit(f"if {_reg(insn.guard)}:")
+                    emit(line, 1)
+                else:
+                    emit(line)
+                if insn.dirty and insn.helper not in MC_NO_STATE_WRITE:
+                    # Error-reporting helpers never write guest state:
+                    # the forwarding map (entries just marked clean by
+                    # the flush) stays valid across the call.
+                    known.clear()
         elif isinstance(insn, SETPCI):
             invalidate_overlap(PO, 4)
             known[PO] = (4, insn.dst & _M32, Ty.I32, True)
@@ -687,32 +772,49 @@ def bind_pygen(cpu, src: str, spec: tuple) -> Callable:
     return fn
 
 
+def _code_wants_fastpath(cpu, code: bytes) -> bool:
+    """Should *code* compile with the Memcheck fast paths?
+
+    True only when the cpu has shadow maps bound (scheduler wiring, off
+    under ``--memcheck-fastpath=no``) *and* the encoded bytes actually
+    name a LOADV/STOREV helper (the helper-name string table is part of
+    the encoding), so Nulgrind-style blocks keep their variant-0 cache
+    identity and fast/slow emissions never alias one cache key.
+    """
+    if not getattr(cpu, "shadow_fastpath", False):
+        return False
+    return b"helperc_LOADV" in code or b"helperc_STOREV" in code
+
+
 def compile_pygen_code(cpu, code: bytes) -> Callable:
     """Decode + emit + bind, with decode/emit cached by code bytes.
 
-    Emission is deterministic in the encoded bytes, so repeated runs of
-    the same program (benchmarks, fleets, replay) skip straight to
+    Emission is deterministic in the encoded bytes (plus the fastpath
+    variant bit, folded into the cache keys), so repeated runs of the
+    same program (benchmarks, fleets, replay) skip straight to
     :func:`bind_pygen` — the only per-run work left is building the env
     dict and executing the cached code object.  When the cpu carries a
     persistent :class:`repro.core.codecache.CodeCache`, emit payloads
     round-trip through it, so the skip extends across processes.
     """
-    hit = _PYGEN_EMIT_CACHE.get(code)
+    fastpath = _code_wants_fastpath(cpu, code)
+    key = b"\x01" + code if fastpath else code
+    hit = _PYGEN_EMIT_CACHE.get(key)
     if hit is not None:
-        _PYGEN_EMIT_CACHE.move_to_end(code)
+        _PYGEN_EMIT_CACHE.move_to_end(key)
         _EMIT_CACHE_STATS["hits"] += 1
     else:
         _EMIT_CACHE_STATS["misses"] += 1
         disk = getattr(cpu, "codecache", None)
         if disk is not None:
-            hit = disk.load_pygen(code)
+            hit = disk.load_pygen(code, fastpath=fastpath)
         if hit is None:
             from .hostisa import decode_insns
 
-            hit = emit_pygen(decode_insns(code))
+            hit = emit_pygen(decode_insns(code), fastpath=fastpath)
             if disk is not None:
-                disk.store_pygen(code, *hit)
-        _emit_cache_put(code, hit)
+                disk.store_pygen(code, *hit, fastpath=fastpath)
+        _emit_cache_put(key, hit)
     return bind_pygen(cpu, *hit)
 
 

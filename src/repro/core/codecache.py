@@ -293,15 +293,22 @@ class CodeCache:
 
     # -- pygen emit payloads (p/) ----------------------------------------------
 
-    def _p_path(self, code: bytes, emit_version: int) -> str:
-        h = hashlib.sha256(b"pygen:%d:" % emit_version + code).hexdigest()
+    def _p_path(self, code: bytes, emit_version: int, variant: int = 0) -> str:
+        h = hashlib.sha256(
+            b"pygen:%d:%d:" % (emit_version, variant) + code
+        ).hexdigest()
         return os.path.join(self._dirs["p"], f"{h[:24]}.tcp")
 
-    def load_pygen(self, code: bytes) -> Optional[Tuple[str, tuple]]:
-        """Return ``(src, spec)`` for *code*, decoded from disk."""
+    def load_pygen(
+        self, code: bytes, fastpath: bool = False
+    ) -> Optional[Tuple[str, tuple]]:
+        """Return ``(src, spec)`` for *code*, decoded from disk.  The
+        *fastpath* emission variant (inlined Memcheck shadow accesses,
+        see backend.pygen) keys a distinct payload."""
         from ..backend import pygen as _pygen
 
-        path = self._p_path(code, _pygen.PYGEN_EMIT_VERSION)
+        path = self._p_path(code, _pygen.PYGEN_EMIT_VERSION,
+                            1 if fastpath else 0)
         obj = self._read_entry(path)
         if obj is None:
             self.stats.pygen_misses += 1
@@ -319,7 +326,9 @@ class CodeCache:
         self._touch(path)
         return src, spec
 
-    def store_pygen(self, code: bytes, src: str, spec: tuple) -> bool:
+    def store_pygen(
+        self, code: bytes, src: str, spec: tuple, fastpath: bool = False
+    ) -> bool:
         from ..backend import pygen as _pygen
 
         try:
@@ -327,7 +336,8 @@ class CodeCache:
         except _pygen.SpecCodecError:
             self.stats.store_errors += 1
             return False
-        if self._write_entry(self._p_path(code, _pygen.PYGEN_EMIT_VERSION),
+        if self._write_entry(self._p_path(code, _pygen.PYGEN_EMIT_VERSION,
+                                          1 if fastpath else 0),
                              (src, enc)):
             self.stats.pygen_stores += 1
             return True

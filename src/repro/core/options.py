@@ -29,6 +29,13 @@ def _default_cache_dir():
     return os.environ.get("REPRO_CACHE_DIR") or None
 
 
+def _default_memcheck_fastpath() -> bool:
+    """Default --memcheck-fastpath, overridable via
+    REPRO_MEMCHECK_FASTPATH=0|1 so CI can force the whole suite through
+    either emission variant."""
+    return os.environ.get("REPRO_MEMCHECK_FASTPATH", "1") not in ("0", "no")
+
+
 @dataclass
 class Options:
     """Core configuration (defaults mirror the paper where it gives one)."""
@@ -130,6 +137,13 @@ class Options:
     #: Size budget for the persistent cache, in MB (LRU eviction past
     #: it); also bounds the in-process pygen emit cache.
     cache_max_mb: int = 256
+    #: Inline Memcheck's LOADV/STOREV shadow fast paths in the pygen
+    #: tier (backend.pygen).  Tool output is byte-identical either way;
+    #: the flag exists for differential testing and is deliberately NOT
+    #: part of the replay contract (recordings stay tier-portable).
+    memcheck_fastpath: bool = field(
+        default_factory=_default_memcheck_fastpath
+    )
     #: Tool-specific options that the core did not recognise.
     tool_options: List[str] = field(default_factory=list)
 
@@ -185,6 +199,7 @@ class Options:
         "opt2": "opt2",
         "trace-translations": "trace_translations",
         "precise-faults": "precise_faults",
+        "memcheck-fastpath": "memcheck_fastpath",
     }
 
     def set(self, option: str) -> bool:

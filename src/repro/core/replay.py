@@ -35,6 +35,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from ..guest.regs import SPILL_AREA_BASE
 from ..kernel.kernel import ACCESS_CODES, SigInfo
 from .errors import ExitCode
 from .faultinject import InjectedJitError
@@ -48,7 +49,11 @@ MAGIC = b"RRLG"
 FORMAT_VERSION = 1
 
 #: Snapshot schema version (stored inside each checkpoint blob).
-SNAPSHOT_VERSION = 1
+#: v2: thread-state scratch (spill + call-save areas) is zero-masked at
+#: capture — it is dead at block boundaries and its residue depends on
+#: the codegen tier and the Memcheck fast-path setting, neither of which
+#: is part of the replay contract.
+SNAPSHOT_VERSION = 2
 
 # -- event kinds ---------------------------------------------------------------
 
@@ -481,9 +486,15 @@ def capture_snapshot(sched, current_tid: int, slice_left: int) -> dict:
     threads = []
     for tid in sorted(sched.threads):
         ts = sched.threads[tid]
+        # The spill and call-save areas are dead at block boundaries;
+        # their residue varies with the codegen tier and the Memcheck
+        # fast-path setting, so they are masked out of the snapshot (and
+        # hence the cross-run state hash).
+        data = bytearray(ts.data)
+        data[SPILL_AREA_BASE:] = bytes(len(data) - SPILL_AREA_BASE)
         threads.append({
             "tid": tid,
-            "data": bytes(ts.data),
+            "data": bytes(data),
             "status": ts.status.value,
             "exit_status": ts.exit_status,
             "joining": ts.joining,

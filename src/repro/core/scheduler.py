@@ -308,6 +308,15 @@ class Scheduler:
         # Execution machinery.
         self.env = ExecEnv(self)
         self.hostcpu = HostCPU(self.memory, helpers, self.env)
+        # Memcheck-style tools expose their shadow page maps for the
+        # pygen tier's inlined LOADV/STOREV fast paths (backend.pygen);
+        # --memcheck-fastpath=no (or REPRO_MEMCHECK_FASTPATH=0) keeps
+        # the helper-only emission for differential testing.
+        shadow_maps = tool.shadow_fastpath_maps()
+        if shadow_maps is not None and options.memcheck_fastpath:
+            self.hostcpu.shadow_rd_get, self.hostcpu.shadow_wr_get = \
+                shadow_maps
+            self.hostcpu.shadow_fastpath = True
         self.transtab = TranslationTable(options.transtab_entries,
                                          policy=options.transtab_policy)
         #: Codegen tiering (closures / perf / pygen / interp); per-tier

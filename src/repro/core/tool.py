@@ -57,6 +57,19 @@ class Tool:
 
     # -- optional hooks ----------------------------------------------------------
 
+    def shadow_fastpath_maps(self) -> Optional[tuple]:
+        """Codegen hook: return ``(rd_get, wr_get)`` page-map accessors
+        for the pygen tier's inlined shadow fast paths (see
+        backend.pygen), or None if the tool has no shadow memory.  The
+        returned callables must stay valid for the whole run."""
+        return None
+
+    def stats_dict(self) -> Optional[dict]:
+        """Extra ``--stats=json`` sections: a ``{section: payload}``
+        dict merged into the core's stats, or None.  All-numeric
+        payloads aggregate automatically in fleet stats."""
+        return None
+
     def handle_client_request(self, tid: int, args: Sequence[int]) -> Optional[int]:
         """Handle a tool-range client request; return the result value or
         None if the request is not recognised."""

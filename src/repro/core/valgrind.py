@@ -181,6 +181,9 @@ class Valgrind:
             "cache": (sched.codecache.stats_dict()
                       if sched.codecache is not None else None),
         }
+        tool_sections = self.tool.stats_dict()
+        if tool_sections:
+            out.update(tool_sections)
         if outcome is not None:
             out["exit_code"] = outcome.exit_code
             out["blocks_executed"] = outcome.blocks_executed

@@ -28,7 +28,9 @@ from ...ir.types import Ty
 from ...kernel.memory import GuestFault
 from ...libc.hostlib import HDR_SIZE
 from .instrument import LOADV, MemcheckInstrumenter, STOREV, VALUE_CHECK
-from .shadow import ShadowMemory
+from .shadow import PAGE_SHIFT, PAGE_SIZE, ShadowMemory
+
+_PMASK = PAGE_SIZE - 1
 
 M32 = 0xFFFFFFFF
 
@@ -122,6 +124,37 @@ class Memcheck(Tool):
     def instrument(self, sb: IRSB) -> IRSB:
         return self.instrumenter.instrument(sb)
 
+    def shadow_fastpath_maps(self):
+        """Expose the shadow page maps for pygen's inlined LOADV/STOREV
+        fast paths (backend.pygen).  The accessors are bound to dicts
+        whose identity is stable for the run, so emitted code can close
+        over them once."""
+        return self.shadow.fast_rd_get, self.shadow.fast_wr_get
+
+    def stats_dict(self):
+        """The ``memcheck_shadow`` section of ``--stats=json``.
+
+        Page-state counters depend only on the make/store sequence, so
+        they are byte-identical with the fast paths on or off and across
+        codegen tiers; the ``fastpath`` sub-dict counts fast/slow hits
+        from the emitted code and is by nature emission-dependent
+        (differential tests compare the section without it).
+        """
+        section = self.shadow.stats_dict()
+        sched = self.core.scheduler if self.core is not None else None
+        c = sched.hostcpu.shadow_counters if sched is not None \
+            else [0, 0, 0, 0]
+        enabled = int(bool(sched is not None
+                           and sched.hostcpu.shadow_fastpath))
+        section["fastpath"] = {
+            "enabled": enabled,
+            "fast_loads": c[0],
+            "fast_stores": c[1],
+            "slow_loads": c[2],
+            "slow_stores": c[3],
+        }
+        return {"memcheck_shadow": section}
+
     def fini(self, exit_code: int) -> None:
         mgr = self.core.error_mgr
         if self.leak_check_at_exit != "no":
@@ -135,9 +168,22 @@ class Memcheck(Tool):
     # -- IR helpers ---------------------------------------------------------------------
 
     def _mk_loadv(self, size: int):
+        # The helpers carry the same shadow-page fast path the pygen
+        # tier inlines (backend.pygen): probe the read map for the
+        # (abits, vbits) secondary, check the range's A bits, slice the
+        # V bytes.  Any unaddressable byte or page-crossing access takes
+        # the general check-and-report path below.
         shadow = self.shadow
+        rd_get = shadow.fast_rd_get
+        last = PAGE_SIZE - size
 
         def loadv(env, addr: int) -> int:
+            a = addr & 0xFFFFFFFF
+            o = a & _PMASK
+            if o <= last:
+                sp = rd_get(a >> PAGE_SHIFT)
+                if sp is not None and 0 not in sp[0][o : o + size]:
+                    return int.from_bytes(sp[1][o : o + size], "little")
             bad = shadow.check_addressable(addr, size)
             if bad is not None:
                 self._report_access_error("InvalidRead", addr, size, bad, env)
@@ -146,9 +192,22 @@ class Memcheck(Tool):
         return loadv
 
     def _mk_storev(self, size: int):
+        # Write fast path: the write map holds only private secondaries,
+        # so the slice assignment can never touch a shared distinguished
+        # page — marker shortcuts and copy-on-write promotion stay in
+        # store_vbits, keeping page-state statistics identical.
         shadow = self.shadow
+        wr_get = shadow.fast_wr_get
+        last = PAGE_SIZE - size
 
         def storev(env, addr: int, vbits: int) -> int:
+            a = addr & 0xFFFFFFFF
+            o = a & _PMASK
+            if o <= last:
+                sp = wr_get(a >> PAGE_SHIFT)
+                if sp is not None and 0 not in sp[0][o : o + size]:
+                    sp[1][o : o + size] = vbits.to_bytes(size, "little")
+                    return 0
             bad = shadow.check_addressable(addr, size)
             if bad is not None:
                 self._report_access_error("InvalidWrite", addr, size, bad, env)
